@@ -1,0 +1,97 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * in-stream + cross-stream coding vs cross-stream only (encoding cost of
+//!   the first line of defence),
+//! * the cross-stream batch width `k` (cooperative-recovery decode cost grows
+//!   with `k`, which is why the paper bounds it to ~10),
+//! * one vs two cross-stream coded packets per batch (straggler protection
+//!   costs one extra parity computation),
+//! * end-to-end scenario throughput with the coding vs caching service.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jqos_core::prelude::*;
+
+fn scenario_report(service: ServiceKind, coding: CodingParams, seed: u64) -> ScenarioReport {
+    let mut scenario = Scenario::new(seed)
+        .with_topology(Topology::wide_area(LossSpec::bursty(0.01, 3.0)))
+        .with_coding(coding);
+    for _ in 0..4 {
+        scenario = scenario.add_flow(
+            service,
+            Box::new(CbrSource::new(Dur::from_millis(20), 512, 250)),
+        );
+    }
+    scenario.run(Dur::from_secs(6))
+}
+
+fn bench_in_stream_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_in_stream");
+    group.sample_size(10);
+    for (label, in_stream) in [("cross_only", false), ("cross_plus_in_stream", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &in_stream, |b, &in_stream| {
+            let coding = CodingParams {
+                in_stream_enabled: in_stream,
+                ..CodingParams::planetlab_defaults()
+            };
+            b.iter(|| scenario_report(ServiceKind::Coding, coding, 11));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_batch_width");
+    group.sample_size(10);
+    for k in [4usize, 6, 10, 20] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let coding = CodingParams {
+                k,
+                in_stream_enabled: false,
+                ..CodingParams::planetlab_defaults()
+            };
+            b.iter(|| scenario_report(ServiceKind::Coding, coding, 13));
+        });
+    }
+    group.finish();
+}
+
+fn bench_straggler_protection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cross_parity");
+    group.sample_size(10);
+    for parity in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(parity), &parity, |b, &parity| {
+            let coding = CodingParams {
+                cross_parity: parity,
+                in_stream_enabled: false,
+                ..CodingParams::planetlab_defaults()
+            };
+            b.iter(|| scenario_report(ServiceKind::Coding, coding, 17));
+        });
+    }
+    group.finish();
+}
+
+fn bench_service_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_service");
+    group.sample_size(10);
+    for service in [ServiceKind::Caching, ServiceKind::Coding, ServiceKind::Forwarding] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(service.to_string()),
+            &service,
+            |b, &service| {
+                b.iter(|| scenario_report(service, CodingParams::planetlab_defaults(), 19));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_in_stream_ablation,
+    bench_batch_width,
+    bench_straggler_protection,
+    bench_service_comparison
+);
+criterion_main!(benches);

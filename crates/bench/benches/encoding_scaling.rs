@@ -1,0 +1,47 @@
+//! Criterion bench behind Figure 10: Reed–Solomon encoding throughput as the
+//! number of encoder threads grows.  The figure binary (`fig10_scaling`)
+//! prints the Kpps table; this bench tracks the same operation with
+//! statistical rigour so regressions in the encoder show up in CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jqos_core::coding::engine::{EncodingEngine, EngineConfig};
+
+fn bench_encoding_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_encoding_scaling");
+    let packets_per_iter = 50_000u64;
+    group.throughput(Throughput::Elements(packets_per_iter));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            let engine = EncodingEngine::new(EngineConfig {
+                threads,
+                block_size: 5,
+                parity: 1,
+                packet_bytes: 512,
+            });
+            b.iter(|| engine.run(packets_per_iter));
+        });
+    }
+    group.finish();
+}
+
+fn bench_packet_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding_packet_size");
+    group.sample_size(10);
+    for bytes in [256usize, 512, 1024, 1400] {
+        group.throughput(Throughput::Bytes((bytes as u64) * 20_000));
+        group.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &bytes| {
+            let engine = EncodingEngine::new(EngineConfig {
+                threads: 1,
+                block_size: 5,
+                parity: 1,
+                packet_bytes: bytes,
+            });
+            b.iter(|| engine.run(20_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding_threads, bench_packet_sizes);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Micro-benchmarks of the individual J-QoS building blocks: Reed–Solomon
+//! encode/decode, the packet cache, the Algorithm-1 coding queues, the
+//! two-state loss detector and the forwarding table.  These are the per-packet
+//! costs behind the DC-side scalability numbers of §6.6.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use erasure::rs::ReedSolomon;
+use jqos_core::coding::params::CodingParams;
+use jqos_core::coding::queues::CodingQueues;
+use jqos_core::packet::{DataPacket, FlowId};
+use jqos_core::recovery::markov::{DetectorConfig, LossDetector};
+use jqos_core::services::caching::{CacheConfig, PacketCache};
+use jqos_core::services::forwarding::{ForwardingTable, NextHop};
+use netsim::{Dur, NodeId, Time};
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reed_solomon");
+    for (k, m) in [(5usize, 1usize), (6, 2), (10, 2), (20, 2)] {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8; 512]).collect();
+        group.throughput(Throughput::Bytes((k * 512) as u64));
+        group.bench_with_input(BenchmarkId::new("encode", format!("k{k}m{m}")), &(), |b, _| {
+            b.iter(|| rs.encode(&data).unwrap());
+        });
+        let all = rs.encode_all(&data).unwrap();
+        group.bench_with_input(BenchmarkId::new("reconstruct", format!("k{k}m{m}")), &(), |b, _| {
+            b.iter(|| {
+                let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+                shards[1] = None;
+                rs.reconstruct_data(&mut shards).unwrap();
+                shards
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_packet_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_cache");
+    group.bench_function("insert_get", |b| {
+        let mut cache = PacketCache::new(CacheConfig {
+            ttl: Dur::from_secs(10),
+            capacity: 100_000,
+        });
+        let mut seq = 0u64;
+        b.iter(|| {
+            let p = DataPacket::new(FlowId(1), seq, Bytes::from_static(&[0u8; 512]), Time::ZERO);
+            cache.insert(p, Time::from_millis(seq));
+            let hit = cache.get(FlowId(1), seq, Time::from_millis(seq));
+            seq += 1;
+            hit
+        });
+    });
+    group.finish();
+}
+
+fn bench_coding_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coding_plan");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("algorithm1_process", |b| {
+        let mut queues = CodingQueues::new(CodingParams::planetlab_defaults());
+        for f in 0..6u32 {
+            queues.register_flow(FlowId(f), NodeId(100), NodeId(200 + f as usize));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let flow = (i % 6) as u32;
+            let p = DataPacket::new(FlowId(flow), i, Bytes::from_static(&[0u8; 512]), Time::ZERO);
+            let out = queues.process(p, Time::from_millis(i));
+            i += 1;
+            out
+        });
+    });
+    group.finish();
+}
+
+fn bench_loss_detector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loss_detector");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("on_arrival", |b| {
+        let mut d = LossDetector::new(DetectorConfig::prototype(Dur::from_millis(150)));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 5;
+            d.on_arrival(Time::from_millis(t))
+        });
+    });
+    group.finish();
+}
+
+fn bench_forwarding_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forwarding_table");
+    let mut table = ForwardingTable::new();
+    for f in 0..1_000u32 {
+        table.set_route(FlowId(f), NextHop::Node(NodeId(f as usize % 16)));
+    }
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("resolve", |b| {
+        let mut f = 0u32;
+        b.iter(|| {
+            f = (f + 1) % 1_000;
+            table.resolve(FlowId(f))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reed_solomon,
+    bench_packet_cache,
+    bench_coding_queues,
+    bench_loss_detector,
+    bench_forwarding_table
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Shared utilities for the figure-regeneration binaries.
+
+use std::fs;
+use std::path::PathBuf;
+
+use netsim::stats::Cdf;
+use serde::Serialize;
+
+/// Where figure data files are written.
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from(std::env::var("JQOS_FIGURES_DIR").unwrap_or_else(|_| "target/figures".into()));
+    fs::create_dir_all(&dir).expect("create figures dir");
+    dir
+}
+
+/// Scale factor for experiment sizes: `JQOS_QUICK=1` shrinks the workloads so
+/// the whole suite finishes in well under a minute (used by CI and the
+/// integration tests); unset runs the full-size experiments.
+pub fn quick_mode() -> bool {
+    std::env::var("JQOS_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+/// Picks `full` normally and `quick` under `JQOS_QUICK=1`.
+pub fn sized(full: usize, quick: usize) -> usize {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// Writes a JSON document describing one figure's data series.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = figures_dir().join(format!("{name}.json"));
+    let body = serde_json::to_string_pretty(value).expect("serialise figure data");
+    fs::write(&path, body).expect("write figure data");
+    println!("  [data written to {}]", path.display());
+}
+
+/// A named distribution, serialised with its CDF points for plotting.
+#[derive(Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Number of samples behind the series.
+    pub count: usize,
+    /// Mean of the samples.
+    pub mean: f64,
+    /// Selected percentiles (p10 … p99).
+    pub percentiles: Vec<(f64, f64)>,
+    /// Down-sampled `(value, cumulative_fraction)` points.
+    pub cdf: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from raw samples.
+    pub fn from_samples(label: &str, samples: Vec<f64>) -> Self {
+        let mut cdf = Cdf::from_samples(samples);
+        let percentiles = [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99]
+            .iter()
+            .map(|&q| (q, cdf.quantile(q).unwrap_or(0.0)))
+            .collect();
+        Series {
+            label: label.to_string(),
+            count: cdf.len(),
+            mean: cdf.mean().unwrap_or(0.0),
+            percentiles,
+            cdf: cdf.cdf_points(64),
+        }
+    }
+
+    /// Prints the series as a fixed-width row of percentiles.
+    pub fn print_row(&self) {
+        print!("  {:<26} n={:<7} mean={:>8.2}", self.label, self.count, self.mean);
+        for (q, v) in &self.percentiles {
+            print!("  p{:<2.0}={:>8.2}", q * 100.0, v);
+        }
+        println!();
+    }
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_summarises_samples() {
+        let s = Series::from_samples("test", (1..=100).map(|x| x as f64).collect());
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.percentiles.len(), 7);
+        assert!(!s.cdf.is_empty());
+    }
+
+    #[test]
+    fn sized_respects_quick_mode_env() {
+        // Whatever the ambient environment, the helper must return one of the
+        // two configured values.
+        let v = sized(1000, 10);
+        assert!(v == 1000 || v == 10);
+    }
+}

@@ -1,0 +1,20 @@
+//! # jqos-bench — the benchmark harness that regenerates the paper's figures
+//!
+//! One binary per figure / table of the evaluation (§6):
+//!
+//! | Binary              | Reproduces                                                        |
+//! |---------------------|-------------------------------------------------------------------|
+//! | `fig7_feasibility`  | Fig. 7(a–d): service latency CDFs, recovery/RTT, δ distributions   |
+//! | `fig8_crwan`        | Fig. 8(a–e): CR-WAN recovery on the PlanetLab-like path set        |
+//! | `fig9a_skype`       | Fig. 9(a): PSNR CDFs for the video-conferencing case study          |
+//! | `fig9b_tcp`         | Fig. 9(b): TCP flow-completion-time tail, plus the NACK ablation    |
+//! | `fig10_scaling`     | Fig. 10: encoder throughput vs. number of threads                   |
+//! | `sec65_mobile`      | §6.5: mobile feasibility (bandwidth, energy, latency)               |
+//! | `sec66_cost`        | §6.6: deployment cost and coding-overhead table                     |
+//!
+//! Every binary prints the series it produces and also dumps them as JSON
+//! under `target/figures/` so `EXPERIMENTS.md` can be regenerated.  Criterion
+//! benches (`encoding_scaling`, `services_micro`, `ablations`) cover the
+//! performance-oriented measurements.
+
+pub mod harness;

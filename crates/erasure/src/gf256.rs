@@ -1,0 +1,273 @@
+//! Arithmetic in the Galois field GF(2⁸).
+//!
+//! The field is constructed with the primitive polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (0x11D), the same polynomial used by most
+//! Reed–Solomon implementations (including zfec).  Multiplication and
+//! division use exponential/logarithm tables computed once at startup.
+
+use std::sync::OnceLock;
+
+/// The primitive polynomial used to generate the field.
+pub const PRIMITIVE_POLY: u16 = 0x11D;
+
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= PRIMITIVE_POLY;
+            }
+        }
+        // Duplicate the table so mul can index exp[log a + log b] without a
+        // modulo operation.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Addition in GF(2⁸) (bitwise XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Subtraction in GF(2⁸) (identical to addition).
+#[inline]
+pub fn sub(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication in GF(2⁸).
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Division in GF(2⁸).
+///
+/// # Panics
+/// Panics on division by zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let log_a = t.log[a as usize] as usize;
+    let log_b = t.log[b as usize] as usize;
+    t.exp[log_a + 255 - log_b]
+}
+
+/// Multiplicative inverse in GF(2⁸).
+///
+/// # Panics
+/// Panics for zero, which has no inverse.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    div(1, a)
+}
+
+/// Exponentiation: `a` raised to the (integer) power `n`.
+pub fn pow(a: u8, n: u32) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let log_a = t.log[a as usize] as u64;
+    let e = (log_a * n as u64) % 255;
+    t.exp[e as usize]
+}
+
+/// The generator element α = 2 raised to the power `n`; enumerates all
+/// non-zero field elements as `n` ranges over `0..255`.
+pub fn exp(n: u8) -> u8 {
+    tables().exp[n as usize]
+}
+
+/// Multiplies every byte of `src` by `c` and XORs the result into `dst`
+/// (`dst[i] ^= c · src[i]`).  This is the inner loop of Reed–Solomon
+/// encoding; it is written over slices so the compiler can vectorise it.
+pub fn mul_slice_xor(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "slice length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= *s;
+        }
+        return;
+    }
+    let t = tables();
+    let log_c = t.log[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[log_c + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+/// Multiplies every byte of `slice` by `c` in place.
+pub fn mul_slice(c: u8, slice: &mut [u8]) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        slice.fill(0);
+        return;
+    }
+    let t = tables();
+    let log_c = t.log[c as usize] as usize;
+    for b in slice.iter_mut() {
+        if *b != 0 {
+            *b = t.exp[log_c + t.log[*b as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        assert_eq!(add(0x53, 0xCA), 0x53 ^ 0xCA);
+        for a in 0..=255u8 {
+            assert_eq!(add(a, a), 0);
+            assert_eq!(sub(a, a), 0);
+        }
+    }
+
+    #[test]
+    fn multiplication_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn known_product() {
+        // In the 0x11D field, 2 · 0x8E = 0x11C ⊕ 0x11D = 1, so inv(2) = 0x8E.
+        assert_eq!(mul(0x02, 0x8E), 0x01);
+        assert_eq!(inv(0x02), 0x8E);
+        // And mul by 2 of a value without the high bit is a plain shift.
+        assert_eq!(mul(0x02, 0x40), 0x80);
+    }
+
+    #[test]
+    fn every_nonzero_element_has_an_inverse() {
+        for a in 1..=255u8 {
+            let i = inv(a);
+            assert_eq!(mul(a, i), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        for a in 1..=255u8 {
+            for b in (1..=255u8).step_by(7) {
+                assert_eq!(div(mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        div(5, 0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in [0u8, 1, 2, 3, 29, 144, 255] {
+            let mut acc = 1u8;
+            for n in 0..20u32 {
+                assert_eq!(pow(a, n), acc, "a={a} n={n}");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // α = 2 must generate all 255 non-zero elements.
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..255u8 {
+            seen.insert(exp(n));
+        }
+        assert_eq!(seen.len(), 255);
+        assert!(!seen.contains(&0));
+    }
+
+    #[test]
+    fn mul_slice_xor_matches_scalar_path() {
+        let src: Vec<u8> = (0..=255u8).collect();
+        for c in [0u8, 1, 2, 37, 255] {
+            let mut dst = vec![0xAAu8; 256];
+            let mut expected = dst.clone();
+            for (e, s) in expected.iter_mut().zip(&src) {
+                *e ^= mul(c, *s);
+            }
+            mul_slice_xor(c, &src, &mut dst);
+            assert_eq!(dst, expected, "c={c}");
+        }
+    }
+
+    #[test]
+    fn mul_slice_in_place() {
+        let mut v: Vec<u8> = (0..=255u8).collect();
+        let orig = v.clone();
+        mul_slice(7, &mut v);
+        for (a, b) in v.iter().zip(&orig) {
+            assert_eq!(*a, mul(7, *b));
+        }
+        mul_slice(0, &mut v);
+        assert!(v.iter().all(|&x| x == 0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_axioms(a: u8, b: u8, c: u8) {
+            // Commutativity
+            prop_assert_eq!(mul(a, b), mul(b, a));
+            prop_assert_eq!(add(a, b), add(b, a));
+            // Associativity
+            prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+            prop_assert_eq!(add(add(a, b), c), add(a, add(b, c)));
+            // Distributivity
+            prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+        }
+
+        #[test]
+        fn prop_division_round_trip(a: u8, b in 1u8..=255) {
+            prop_assert_eq!(div(mul(a, b), b), a);
+            prop_assert_eq!(mul(div(a, b), b), a);
+        }
+    }
+}

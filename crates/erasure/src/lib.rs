@@ -1,0 +1,39 @@
+//! # erasure — systematic Reed–Solomon erasure coding over GF(2⁸)
+//!
+//! The J-QoS prototype in the paper uses the `zfec` library to generate the
+//! in-stream and cross-stream coded packets of its coding service (CR-WAN,
+//! §4).  This crate is a from-scratch replacement: finite-field arithmetic
+//! ([`gf256`]), matrix algebra over the field ([`matrix`]), and a systematic
+//! Reed–Solomon codec ([`rs::ReedSolomon`]) built from a Vandermonde matrix.
+//!
+//! The codec is *systematic*: the first `k` shards of a codeword are the data
+//! shards themselves, and the `m` parity shards are linear combinations of
+//! them.  Any `k` of the `k + m` shards reconstruct the original data, which
+//! is exactly the property CR-WAN's cooperative recovery relies on: DC2 can
+//! rebuild a packet lost on the Internet path from `k − 1` data packets
+//! collected from other receivers plus one cross-stream coded packet.
+//!
+//! ```
+//! use erasure::rs::ReedSolomon;
+//!
+//! let rs = ReedSolomon::new(4, 2).unwrap();
+//! let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 16]).collect();
+//! let parity = rs.encode(&data).unwrap();
+//!
+//! // Lose two data shards; recover them from the rest.
+//! let mut shards: Vec<Option<Vec<u8>>> =
+//!     data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+//! shards[1] = None;
+//! shards[3] = None;
+//! rs.reconstruct(&mut shards).unwrap();
+//! assert_eq!(shards[1].as_deref(), Some(&data[1][..]));
+//! assert_eq!(shards[3].as_deref(), Some(&data[3][..]));
+//! ```
+
+pub mod gf256;
+pub mod matrix;
+pub mod packets;
+pub mod rs;
+
+pub use packets::{decode_packets, encode_packets, CodedBatch};
+pub use rs::{ReedSolomon, RsError};

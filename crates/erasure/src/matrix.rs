@@ -1,0 +1,302 @@
+//! Dense matrices over GF(2⁸).
+//!
+//! Only the operations needed by the Reed–Solomon codec are provided:
+//! construction (identity, Vandermonde), multiplication, row reduction and
+//! inversion via Gauss–Jordan elimination, and sub-matrix extraction.
+
+use crate::gf256;
+
+/// A dense row-major matrix with entries in GF(2⁸).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// A matrix of zeros.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// The identity matrix of the given size.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// A Vandermonde matrix whose `(r, c)` entry is `r^c` (with `0⁰ = 1`).
+    /// Any `cols × cols` sub-matrix formed from distinct rows is invertible,
+    /// which is what makes the derived code MDS.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, gf256::pow(r as u8, c as u32));
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from nested vectors.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: Vec<Vec<u8>>) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "ragged rows");
+            data.extend(r);
+        }
+        Matrix {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of a full row.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn multiply(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in multiply");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let prod = gf256::mul(a, rhs.get(k, j));
+                    out.set(i, j, gf256::add(out.get(i, j), prod));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a new matrix made of the selected rows (in the given order).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            for c in 0..self.cols {
+                out.set(i, c, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Horizontally concatenates `self` with `rhs`.
+    pub fn augment(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "row mismatch in augment");
+        let mut out = Matrix::zero(self.rows, self.cols + rhs.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(r, c, self.get(r, c));
+            }
+            for c in 0..rhs.cols {
+                out.set(r, self.cols + c, rhs.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Extracts the sub-matrix of columns `[col_start, col_end)`.
+    pub fn columns(&self, col_start: usize, col_end: usize) -> Matrix {
+        let mut out = Matrix::zero(self.rows, col_end - col_start);
+        for r in 0..self.rows {
+            for c in col_start..col_end {
+                out.set(r, c - col_start, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let tmp = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, tmp);
+        }
+    }
+
+    /// Inverts a square matrix using Gauss–Jordan elimination.
+    ///
+    /// Returns `None` if the matrix is singular.
+    pub fn invert(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices can be inverted");
+        let n = self.rows;
+        let mut work = self.augment(&Matrix::identity(n));
+
+        for col in 0..n {
+            // Find a pivot.
+            let pivot_row = (col..n).find(|&r| work.get(r, col) != 0)?;
+            work.swap_rows(col, pivot_row);
+
+            // Scale the pivot row so the pivot is 1.
+            let pivot = work.get(col, col);
+            if pivot != 1 {
+                let inv = gf256::inv(pivot);
+                for c in 0..work.cols {
+                    work.set(col, c, gf256::mul(work.get(col, c), inv));
+                }
+            }
+
+            // Eliminate the column from all other rows.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = work.get(r, col);
+                if factor == 0 {
+                    continue;
+                }
+                for c in 0..work.cols {
+                    let v = gf256::add(work.get(r, c), gf256::mul(factor, work.get(col, c)));
+                    work.set(r, c, v);
+                }
+            }
+        }
+        Some(work.columns(n, 2 * n))
+    }
+
+    /// Whether this is the identity matrix.
+    pub fn is_identity(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let expected = if r == c { 1 } else { 0 };
+                if self.get(r, c) != expected {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_times_anything_is_unchanged() {
+        let v = Matrix::vandermonde(5, 3);
+        let i5 = Matrix::identity(5);
+        assert_eq!(i5.multiply(&v), v);
+    }
+
+    #[test]
+    fn vandermonde_shape_and_first_column() {
+        let v = Matrix::vandermonde(6, 4);
+        assert_eq!(v.rows(), 6);
+        assert_eq!(v.cols(), 4);
+        for r in 0..6 {
+            assert_eq!(v.get(r, 0), 1, "x^0 must be 1");
+        }
+        assert_eq!(v.get(3, 1), 3);
+    }
+
+    #[test]
+    fn invert_round_trip() {
+        let m = Matrix::from_rows(vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 10]]);
+        let inv = m.invert().expect("invertible");
+        assert!(m.multiply(&inv).is_identity());
+        assert!(inv.multiply(&m).is_identity());
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        // Two identical rows.
+        let m = Matrix::from_rows(vec![vec![1, 2], vec![1, 2]]);
+        assert!(m.invert().is_none());
+    }
+
+    #[test]
+    fn vandermonde_square_submatrices_are_invertible() {
+        let v = Matrix::vandermonde(10, 4);
+        // Any 4 distinct rows must be invertible (MDS property).
+        let combos = [[0, 1, 2, 3], [0, 3, 6, 9], [2, 4, 5, 8], [1, 5, 7, 9]];
+        for rows in combos {
+            let sub = v.select_rows(&rows);
+            assert!(sub.invert().is_some(), "rows {rows:?} should be invertible");
+        }
+    }
+
+    #[test]
+    fn select_rows_and_augment() {
+        let v = Matrix::vandermonde(4, 2);
+        let top = v.select_rows(&[0, 1]);
+        assert_eq!(top.rows(), 2);
+        let aug = top.augment(&Matrix::identity(2));
+        assert_eq!(aug.cols(), 4);
+        assert_eq!(aug.get(0, 2), 1);
+        assert_eq!(aug.get(1, 3), 1);
+        let right = aug.columns(2, 4);
+        assert!(right.is_identity());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_random_matrices_invert(seed in 0u64..5_000) {
+            // Build a deterministic pseudo-random 4x4 matrix from the seed and
+            // check that, if invertible, the inverse actually round-trips.
+            let mut vals = Vec::with_capacity(16);
+            let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for _ in 0..16 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                vals.push((x >> 33) as u8);
+            }
+            let m = Matrix::from_rows(vals.chunks(4).map(|c| c.to_vec()).collect());
+            if let Some(inv) = m.invert() {
+                prop_assert!(m.multiply(&inv).is_identity());
+            }
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Systematic Reed–Solomon codec.
+//!
+//! The code is constructed from a `(k + m) × k` Vandermonde matrix whose top
+//! `k × k` block is normalised to the identity, giving a *systematic* MDS
+//! code: shards `0..k` carry the data verbatim and shards `k..k+m` carry
+//! parity.  Any `k` shards reconstruct all `k + m`.
+
+use crate::gf256;
+use crate::matrix::Matrix;
+
+/// Errors returned by the codec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RsError {
+    /// `data_shards` or `parity_shards` was zero, or the total exceeded 255.
+    InvalidParameters {
+        /// Requested number of data shards.
+        data_shards: usize,
+        /// Requested number of parity shards.
+        parity_shards: usize,
+    },
+    /// The number of shards passed to encode/reconstruct does not match the
+    /// codec configuration.
+    WrongShardCount {
+        /// Number expected by the codec.
+        expected: usize,
+        /// Number actually supplied.
+        got: usize,
+    },
+    /// Shards have inconsistent lengths.
+    ShardLengthMismatch,
+    /// Fewer than `k` shards are present, so reconstruction is impossible.
+    NotEnoughShards {
+        /// Shards required.
+        needed: usize,
+        /// Shards available.
+        present: usize,
+    },
+    /// A shard is empty.
+    EmptyShard,
+}
+
+impl std::fmt::Display for RsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsError::InvalidParameters { data_shards, parity_shards } => write!(
+                f,
+                "invalid Reed-Solomon parameters: k={data_shards}, m={parity_shards} (need k>=1, m>=1, k+m<=255)"
+            ),
+            RsError::WrongShardCount { expected, got } => {
+                write!(f, "wrong shard count: expected {expected}, got {got}")
+            }
+            RsError::ShardLengthMismatch => write!(f, "shards have different lengths"),
+            RsError::NotEnoughShards { needed, present } => {
+                write!(f, "not enough shards to reconstruct: need {needed}, have {present}")
+            }
+            RsError::EmptyShard => write!(f, "shards must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// A systematic Reed–Solomon codec with `k` data shards and `m` parity
+/// shards.
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    data_shards: usize,
+    parity_shards: usize,
+    /// The full `(k + m) × k` encoding matrix (top block identity).
+    encode_matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a codec.  `data_shards ≥ 1`, `parity_shards ≥ 1` and
+    /// `data_shards + parity_shards ≤ 255` (the field size minus one).
+    pub fn new(data_shards: usize, parity_shards: usize) -> Result<Self, RsError> {
+        if data_shards == 0 || parity_shards == 0 || data_shards + parity_shards > 255 {
+            return Err(RsError::InvalidParameters { data_shards, parity_shards });
+        }
+        let total = data_shards + parity_shards;
+        let vandermonde = Matrix::vandermonde(total, data_shards);
+        // Normalise: multiply by the inverse of the top square block so the
+        // top k rows become the identity (systematic form).
+        let top = vandermonde.select_rows(&(0..data_shards).collect::<Vec<_>>());
+        let top_inv = top
+            .invert()
+            .expect("top block of a Vandermonde matrix is always invertible");
+        let encode_matrix = vandermonde.multiply(&top_inv);
+        debug_assert!(encode_matrix
+            .select_rows(&(0..data_shards).collect::<Vec<_>>())
+            .is_identity());
+        Ok(ReedSolomon {
+            data_shards,
+            parity_shards,
+            encode_matrix,
+        })
+    }
+
+    /// Number of data shards `k`.
+    pub fn data_shards(&self) -> usize {
+        self.data_shards
+    }
+
+    /// Number of parity shards `m`.
+    pub fn parity_shards(&self) -> usize {
+        self.parity_shards
+    }
+
+    /// Total number of shards `k + m`.
+    pub fn total_shards(&self) -> usize {
+        self.data_shards + self.parity_shards
+    }
+
+    fn check_shards(&self, shards: &[Vec<u8>]) -> Result<usize, RsError> {
+        if shards.len() != self.data_shards {
+            return Err(RsError::WrongShardCount {
+                expected: self.data_shards,
+                got: shards.len(),
+            });
+        }
+        let len = shards[0].len();
+        if len == 0 {
+            return Err(RsError::EmptyShard);
+        }
+        if shards.iter().any(|s| s.len() != len) {
+            return Err(RsError::ShardLengthMismatch);
+        }
+        Ok(len)
+    }
+
+    /// Encodes `k` equally sized data shards into `m` parity shards.
+    pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+        let len = self.check_shards(data)?;
+        let mut parity = vec![vec![0u8; len]; self.parity_shards];
+        for (p_idx, parity_shard) in parity.iter_mut().enumerate() {
+            let row = self.encode_matrix.row(self.data_shards + p_idx);
+            for (d_idx, data_shard) in data.iter().enumerate() {
+                gf256::mul_slice_xor(row[d_idx], data_shard, parity_shard);
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Encodes and returns all `k + m` shards (data shards are cloned).
+    pub fn encode_all(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+        let parity = self.encode(data)?;
+        let mut all = data.to_vec();
+        all.extend(parity);
+        Ok(all)
+    }
+
+    /// Reconstructs every missing shard in place.  `shards` must have length
+    /// `k + m`; present shards are `Some(bytes)` of equal length.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), RsError> {
+        self.reconstruct_internal(shards, false)
+    }
+
+    /// Reconstructs only the missing *data* shards (cheaper when the parity
+    /// shards are not needed again, which is the common case in CR-WAN's
+    /// cooperative recovery).
+    pub fn reconstruct_data(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), RsError> {
+        self.reconstruct_internal(shards, true)
+    }
+
+    fn reconstruct_internal(&self, shards: &mut [Option<Vec<u8>>], data_only: bool) -> Result<(), RsError> {
+        let total = self.total_shards();
+        if shards.len() != total {
+            return Err(RsError::WrongShardCount {
+                expected: total,
+                got: shards.len(),
+            });
+        }
+        let present: Vec<usize> = (0..total).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < self.data_shards {
+            return Err(RsError::NotEnoughShards {
+                needed: self.data_shards,
+                present: present.len(),
+            });
+        }
+        let shard_len = shards[present[0]].as_ref().unwrap().len();
+        if shard_len == 0 {
+            return Err(RsError::EmptyShard);
+        }
+        if present
+            .iter()
+            .any(|&i| shards[i].as_ref().unwrap().len() != shard_len)
+        {
+            return Err(RsError::ShardLengthMismatch);
+        }
+
+        let all_data_present = (0..self.data_shards).all(|i| shards[i].is_some());
+        if !all_data_present {
+            // Solve for the original data from any k present shards.
+            let use_rows: Vec<usize> = present.iter().copied().take(self.data_shards).collect();
+            let sub = self.encode_matrix.select_rows(&use_rows);
+            let decode = sub
+                .invert()
+                .expect("any k rows of an MDS encoding matrix are invertible");
+            // data[d] = sum_j decode[d][j] * shard[use_rows[j]]
+            let mut rebuilt: Vec<Vec<u8>> = vec![vec![0u8; shard_len]; self.data_shards];
+            for (d, out) in rebuilt.iter_mut().enumerate() {
+                for (j, &row_idx) in use_rows.iter().enumerate() {
+                    let coeff = decode.get(d, j);
+                    let src = shards[row_idx].as_ref().unwrap();
+                    gf256::mul_slice_xor(coeff, src, out);
+                }
+            }
+            for (d, shard) in rebuilt.into_iter().enumerate() {
+                if shards[d].is_none() {
+                    shards[d] = Some(shard);
+                }
+            }
+        }
+
+        if !data_only {
+            // Regenerate any missing parity shards from the (now complete) data.
+            let data: Vec<Vec<u8>> = (0..self.data_shards)
+                .map(|i| shards[i].clone().expect("data shard rebuilt above"))
+                .collect();
+            let parity = self.encode(&data)?;
+            for (p, shard) in parity.into_iter().enumerate() {
+                let idx = self.data_shards + p;
+                if shards[idx].is_none() {
+                    shards[idx] = Some(shard);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies that the given full set of shards is consistent (parity
+    /// matches the data).
+    pub fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, RsError> {
+        if shards.len() != self.total_shards() {
+            return Err(RsError::WrongShardCount {
+                expected: self.total_shards(),
+                got: shards.len(),
+            });
+        }
+        let data = &shards[..self.data_shards];
+        let expected = self.encode(&data.to_vec())?;
+        Ok(expected
+            .iter()
+            .zip(&shards[self.data_shards..])
+            .all(|(a, b)| a == b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_data(k: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| (i as u8).wrapping_mul(31) ^ (j as u8) ^ seed).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ReedSolomon::new(0, 1).is_err());
+        assert!(ReedSolomon::new(1, 0).is_err());
+        assert!(ReedSolomon::new(200, 56).is_err());
+        assert!(ReedSolomon::new(200, 55).is_ok());
+        assert!(ReedSolomon::new(6, 2).is_ok());
+    }
+
+    #[test]
+    fn encode_produces_expected_number_of_parity_shards() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 64, 1);
+        let parity = rs.encode(&data).unwrap();
+        assert_eq!(parity.len(), 2);
+        assert!(parity.iter().all(|p| p.len() == 64));
+        assert!(rs.verify(&rs.encode_all(&data).unwrap()).unwrap());
+    }
+
+    #[test]
+    fn single_data_loss_recovers() {
+        let rs = ReedSolomon::new(6, 2).unwrap();
+        let data = sample_data(6, 512, 2);
+        let mut shards: Vec<Option<Vec<u8>>> = rs
+            .encode_all(&data)
+            .unwrap()
+            .into_iter()
+            .map(Some)
+            .collect();
+        shards[3] = None;
+        rs.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[3].as_deref(), Some(&data[3][..]));
+    }
+
+    #[test]
+    fn loss_up_to_parity_count_recovers() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data = sample_data(5, 100, 3);
+        let all = rs.encode_all(&data).unwrap();
+        // Drop three shards: two data + one parity.
+        let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        shards[4] = None;
+        shards[6] = None;
+        rs.reconstruct(&mut shards).unwrap();
+        for (i, orig) in all.iter().enumerate() {
+            assert_eq!(shards[i].as_deref(), Some(&orig[..]), "shard {i}");
+        }
+    }
+
+    #[test]
+    fn too_many_losses_fail() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 32, 4);
+        let mut shards: Vec<Option<Vec<u8>>> = rs
+            .encode_all(&data)
+            .unwrap()
+            .into_iter()
+            .map(Some)
+            .collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        assert_eq!(
+            rs.reconstruct(&mut shards),
+            Err(RsError::NotEnoughShards { needed: 4, present: 3 })
+        );
+    }
+
+    #[test]
+    fn reconstruct_data_leaves_missing_parity_alone() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 32, 5);
+        let mut shards: Vec<Option<Vec<u8>>> = rs
+            .encode_all(&data)
+            .unwrap()
+            .into_iter()
+            .map(Some)
+            .collect();
+        shards[1] = None;
+        shards[5] = None;
+        rs.reconstruct_data(&mut shards).unwrap();
+        assert_eq!(shards[1].as_deref(), Some(&data[1][..]));
+        assert!(shards[5].is_none(), "parity should not be rebuilt");
+    }
+
+    #[test]
+    fn mismatched_shard_lengths_are_rejected() {
+        let rs = ReedSolomon::new(3, 1).unwrap();
+        let data = vec![vec![1u8; 10], vec![2u8; 10], vec![3u8; 11]];
+        assert_eq!(rs.encode(&data), Err(RsError::ShardLengthMismatch));
+    }
+
+    #[test]
+    fn parity_is_deterministic() {
+        let rs = ReedSolomon::new(6, 2).unwrap();
+        let data = sample_data(6, 256, 6);
+        assert_eq!(rs.encode(&data).unwrap(), rs.encode(&data).unwrap());
+    }
+
+    #[test]
+    fn in_stream_coding_shape_from_paper() {
+        // The paper's in-stream default for interactive apps is s = 1/5: one
+        // coded packet per five data packets (k=5, m=1).
+        let rs = ReedSolomon::new(5, 1).unwrap();
+        let data = sample_data(5, 512, 7);
+        let parity = rs.encode(&data).unwrap();
+        assert_eq!(parity.len(), 1);
+        // Losing any single data packet is recoverable.
+        for lost in 0..5 {
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(parity.iter().cloned().map(Some))
+                .collect();
+            shards[lost] = None;
+            rs.reconstruct_data(&mut shards).unwrap();
+            assert_eq!(shards[lost].as_deref(), Some(&data[lost][..]));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// MDS property: any erasure pattern with at most `m` losses recovers.
+        #[test]
+        fn prop_any_erasure_pattern_within_parity_recovers(
+            k in 2usize..8,
+            m in 1usize..4,
+            len in 1usize..128,
+            seed: u8,
+            pattern in proptest::collection::vec(any::<bool>(), 0..12),
+        ) {
+            let rs = ReedSolomon::new(k, m).unwrap();
+            let data = sample_data(k, len, seed);
+            let all = rs.encode_all(&data).unwrap();
+            let total = k + m;
+            let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+            let mut erased = 0;
+            for (i, kill) in pattern.iter().enumerate() {
+                if i < total && *kill && erased < m {
+                    shards[i] = None;
+                    erased += 1;
+                }
+            }
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, orig) in all.iter().enumerate() {
+                prop_assert_eq!(shards[i].as_deref(), Some(&orig[..]));
+            }
+        }
+
+        /// Cooperative-recovery shape: one coded packet plus k-1 of the data
+        /// packets always rebuilds the single missing data packet.
+        #[test]
+        fn prop_one_coded_plus_k_minus_one_data_recovers(
+            k in 2usize..10,
+            lost in 0usize..10,
+            len in 1usize..64,
+            seed: u8,
+        ) {
+            let lost = lost % k;
+            let rs = ReedSolomon::new(k, 2).unwrap();
+            let data = sample_data(k, len, seed);
+            let parity = rs.encode(&data).unwrap();
+            let mut shards: Vec<Option<Vec<u8>>> = vec![None; k + 2];
+            for (i, d) in data.iter().enumerate() {
+                if i != lost {
+                    shards[i] = Some(d.clone());
+                }
+            }
+            // Only the first coded packet is available at DC2.
+            shards[k] = Some(parity[0].clone());
+            rs.reconstruct_data(&mut shards).unwrap();
+            prop_assert_eq!(shards[lost].as_deref(), Some(&data[lost][..]));
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Turning ready batches into coded packets, and decoding them back.
+//!
+//! The encoder takes a [`ReadyBatch`] produced by the coding plan and emits
+//! the configured number of parity packets using the systematic Reed–Solomon
+//! codec from the `erasure` crate.  Each coded packet carries the member list
+//! (flow, sequence number, receiver, payload length) so that DC2 can later
+//! run cooperative recovery without any other state.
+
+use bytes::Bytes;
+use netsim::Time;
+
+use erasure::packets::{encode_packets, shard_len_for};
+use erasure::rs::RsError;
+
+use crate::coding::params::CodingParams;
+use crate::coding::queues::ReadyBatch;
+use crate::packet::{BatchId, BatchMember, CodedPacket, CodingKind, DataPacket, FlowId, SeqNo};
+
+/// Counters for the encoder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EncoderStats {
+    /// Batches encoded.
+    pub batches: u64,
+    /// Coded (parity) packets produced.
+    pub coded_packets: u64,
+    /// Total data bytes that entered the encoder.
+    pub data_bytes: u64,
+    /// Total coded bytes produced (the cloud-path overhead).
+    pub coded_bytes: u64,
+}
+
+impl EncoderStats {
+    /// Byte overhead ratio: coded bytes / data bytes.
+    pub fn overhead(&self) -> f64 {
+        if self.data_bytes == 0 {
+            0.0
+        } else {
+            self.coded_bytes as f64 / self.data_bytes as f64
+        }
+    }
+}
+
+/// The batch encoder living at DC1.
+#[derive(Clone, Debug)]
+pub struct BatchEncoder {
+    params: CodingParams,
+    next_batch: u64,
+    stats: EncoderStats,
+}
+
+impl BatchEncoder {
+    /// Creates an encoder.
+    pub fn new(params: CodingParams) -> Self {
+        BatchEncoder {
+            params,
+            next_batch: 0,
+            stats: EncoderStats::default(),
+        }
+    }
+
+    /// Counters gathered so far.
+    pub fn stats(&self) -> EncoderStats {
+        self.stats
+    }
+
+    /// Encodes a batch into its parity packets.  Single-member batches are
+    /// allowed (they arise when a queue timer expires before any companion
+    /// flow contributed a packet); their parity shard is effectively a cloud
+    /// copy of the lone packet.
+    pub fn encode(&mut self, batch: &ReadyBatch, now: Time) -> Vec<CodedPacket> {
+        if batch.packets.is_empty() {
+            return vec![];
+        }
+        let parity_count = match batch.kind {
+            CodingKind::InStream => self.params.in_stream_parity,
+            CodingKind::CrossStream => self.params.cross_parity,
+        };
+        if parity_count == 0 {
+            return vec![];
+        }
+
+        let payloads: Vec<&[u8]> = batch.packets.iter().map(|p| p.packet.payload.as_ref()).collect();
+        let coded = match encode_packets(&payloads, parity_count) {
+            Ok(c) => c,
+            Err(_) => return vec![],
+        };
+
+        let members: Vec<BatchMember> = batch
+            .packets
+            .iter()
+            .map(|p| BatchMember {
+                flow: p.packet.flow,
+                seq: p.packet.seq,
+                receiver: p.receiver,
+                payload_len: p.packet.payload.len(),
+            })
+            .collect();
+
+        let batch_id = BatchId(self.next_batch);
+        self.next_batch += 1;
+        self.stats.batches += 1;
+        self.stats.data_bytes += payloads.iter().map(|p| p.len() as u64).sum::<u64>();
+
+        coded
+            .parity
+            .into_iter()
+            .enumerate()
+            .map(|(idx, shard)| {
+                self.stats.coded_packets += 1;
+                self.stats.coded_bytes += shard.len() as u64;
+                CodedPacket {
+                    batch: batch_id,
+                    parity_index: idx,
+                    parity_count,
+                    members: members.clone(),
+                    shard_len: coded.shard_len,
+                    shard: Bytes::from(shard),
+                    kind: batch.kind,
+                    created_at: now,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Attempts to decode the missing members of a batch given the coded packets
+/// DC2 holds and the data packets collected from receivers.
+///
+/// Returns the recovered packets for exactly the `(flow, seq)` pairs listed
+/// in `wanted` (other rebuilt members are not returned).
+pub fn decode_batch(
+    coded: &[&CodedPacket],
+    collected: &[DataPacket],
+    wanted: &[(FlowId, SeqNo)],
+    now: Time,
+) -> Result<Vec<DataPacket>, RsError> {
+    let first = coded.first().ok_or(RsError::NotEnoughShards { needed: 1, present: 0 })?;
+    let members = &first.members;
+    let data_count = members.len();
+
+    // Map collected data packets onto member slots.
+    let mut available_data: Vec<(usize, &[u8])> = Vec::new();
+    for (slot, m) in members.iter().enumerate() {
+        if let Some(p) = collected.iter().find(|p| p.flow == m.flow && p.seq == m.seq) {
+            available_data.push((slot, p.payload.as_ref()));
+        }
+    }
+    let available_parity: Vec<(usize, &[u8])> = coded
+        .iter()
+        .map(|c| (c.parity_index, c.shard.as_ref()))
+        .collect();
+
+    let rebuilt = erasure::packets::decode_packets(
+        data_count,
+        first.shard_len,
+        &available_data,
+        &available_parity,
+    )?;
+
+    let mut out = Vec::new();
+    for (flow, seq) in wanted {
+        if let Some(slot) = members.iter().position(|m| m.flow == *flow && m.seq == *seq) {
+            out.push(DataPacket {
+                flow: *flow,
+                seq: *seq,
+                payload: Bytes::from(rebuilt[slot].clone()),
+                sent_at: now,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// The shard length DC1 will use for a set of payloads (exposed for tests and
+/// capacity planning).
+pub fn batch_shard_len(payloads: &[&[u8]]) -> usize {
+    shard_len_for(payloads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coding::queues::QueuedPacket;
+    use netsim::NodeId;
+
+    fn batch(kind: CodingKind, sizes: &[(u32, u64, usize)]) -> ReadyBatch {
+        ReadyBatch {
+            kind,
+            dc2: NodeId(50),
+            packets: sizes
+                .iter()
+                .map(|(flow, seq, size)| QueuedPacket {
+                    packet: DataPacket::new(
+                        FlowId(*flow),
+                        *seq,
+                        Bytes::from(vec![(*flow as u8) ^ (*seq as u8); *size]),
+                        Time::ZERO,
+                    ),
+                    receiver: NodeId(200 + *flow as usize),
+                })
+                .collect(),
+        }
+    }
+
+    fn default_encoder() -> BatchEncoder {
+        BatchEncoder::new(CodingParams {
+            cross_parity: 2,
+            ..CodingParams::planetlab_defaults()
+        })
+    }
+
+    #[test]
+    fn cross_batch_produces_two_parity_packets() {
+        let mut enc = default_encoder();
+        let b = batch(
+            CodingKind::CrossStream,
+            &[(0, 1, 100), (1, 5, 200), (2, 9, 150), (3, 2, 120)],
+        );
+        let coded = enc.encode(&b, Time::from_millis(1));
+        assert_eq!(coded.len(), 2);
+        assert_eq!(coded[0].parity_index, 0);
+        assert_eq!(coded[1].parity_index, 1);
+        assert_eq!(coded[0].members.len(), 4);
+        assert_eq!(coded[0].shard_len, 202);
+        assert!(coded[0].covers(FlowId(1), 5));
+        assert_eq!(enc.stats().batches, 1);
+        assert_eq!(enc.stats().coded_packets, 2);
+        assert!(enc.stats().overhead() > 0.0);
+    }
+
+    #[test]
+    fn in_stream_batch_uses_in_stream_parity() {
+        let mut enc = default_encoder();
+        let b = batch(
+            CodingKind::InStream,
+            &[(7, 0, 90), (7, 1, 90), (7, 2, 90), (7, 3, 90), (7, 4, 90)],
+        );
+        let coded = enc.encode(&b, Time::ZERO);
+        assert_eq!(coded.len(), 1);
+        assert_eq!(coded[0].kind, CodingKind::InStream);
+    }
+
+    #[test]
+    fn single_member_batches_become_cloud_copies() {
+        let mut enc = default_encoder();
+        let b = batch(CodingKind::CrossStream, &[(0, 1, 100)]);
+        let coded = enc.encode(&b, Time::ZERO);
+        assert_eq!(coded.len(), 2);
+        assert_eq!(coded[0].members.len(), 1);
+        // The lone member is recoverable from the parity shard alone.
+        let coded_refs: Vec<&CodedPacket> = vec![&coded[0]];
+        let recovered = decode_batch(&coded_refs, &[], &[(FlowId(0), 1)], Time::ZERO).unwrap();
+        assert_eq!(recovered[0].payload, b.packets[0].packet.payload);
+    }
+
+    #[test]
+    fn empty_batches_are_skipped() {
+        let mut enc = default_encoder();
+        let b = ReadyBatch { kind: CodingKind::CrossStream, dc2: NodeId(50), packets: vec![] };
+        assert!(enc.encode(&b, Time::ZERO).is_empty());
+        assert_eq!(enc.stats().batches, 0);
+    }
+
+    #[test]
+    fn decode_recovers_a_missing_member_from_k_minus_one_plus_parity() {
+        let mut enc = default_encoder();
+        let b = batch(
+            CodingKind::CrossStream,
+            &[(0, 1, 100), (1, 5, 200), (2, 9, 150), (3, 2, 120)],
+        );
+        let coded = enc.encode(&b, Time::ZERO);
+
+        // Flow 2's packet (seq 9) was lost on the Internet path; the other
+        // three receivers supply their packets.
+        let collected: Vec<DataPacket> = b
+            .packets
+            .iter()
+            .filter(|p| p.packet.flow != FlowId(2))
+            .map(|p| p.packet.clone())
+            .collect();
+        let coded_refs: Vec<&CodedPacket> = vec![&coded[0]];
+        let recovered = decode_batch(
+            &coded_refs,
+            &collected,
+            &[(FlowId(2), 9)],
+            Time::from_millis(200),
+        )
+        .unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].flow, FlowId(2));
+        assert_eq!(recovered[0].seq, 9);
+        assert_eq!(recovered[0].payload, b.packets[2].packet.payload);
+    }
+
+    #[test]
+    fn decode_with_straggler_needs_second_parity_packet() {
+        let mut enc = default_encoder();
+        let b = batch(
+            CodingKind::CrossStream,
+            &[(0, 1, 100), (1, 5, 100), (2, 9, 100), (3, 2, 100)],
+        );
+        let coded = enc.encode(&b, Time::ZERO);
+        // Flow 2 lost its packet AND flow 3 is a straggler that never
+        // responded: only two data packets were collected.
+        let collected: Vec<DataPacket> = b
+            .packets
+            .iter()
+            .filter(|p| p.packet.flow == FlowId(0) || p.packet.flow == FlowId(1))
+            .map(|p| p.packet.clone())
+            .collect();
+
+        // With one coded packet recovery is impossible...
+        let one: Vec<&CodedPacket> = vec![&coded[0]];
+        assert!(decode_batch(&one, &collected, &[(FlowId(2), 9)], Time::ZERO).is_err());
+
+        // ...but the second cross-stream packet (straggler protection, §4.2)
+        // makes it possible.
+        let two: Vec<&CodedPacket> = vec![&coded[0], &coded[1]];
+        let recovered = decode_batch(&two, &collected, &[(FlowId(2), 9)], Time::ZERO).unwrap();
+        assert_eq!(recovered[0].payload, b.packets[2].packet.payload);
+    }
+
+    #[test]
+    fn decode_ignores_unrelated_collected_packets() {
+        let mut enc = default_encoder();
+        let b = batch(CodingKind::CrossStream, &[(0, 1, 80), (1, 2, 80), (2, 3, 80)]);
+        let coded = enc.encode(&b, Time::ZERO);
+        let mut collected: Vec<DataPacket> = b
+            .packets
+            .iter()
+            .filter(|p| p.packet.flow != FlowId(0))
+            .map(|p| p.packet.clone())
+            .collect();
+        // A stray packet from a flow not in the batch must not confuse decode.
+        collected.push(DataPacket::synthetic(FlowId(77), 1, 80, Time::ZERO));
+        let coded_refs: Vec<&CodedPacket> = coded.iter().collect();
+        let recovered =
+            decode_batch(&coded_refs, &collected, &[(FlowId(0), 1)], Time::ZERO).unwrap();
+        assert_eq!(recovered[0].payload, b.packets[0].packet.payload);
+    }
+}

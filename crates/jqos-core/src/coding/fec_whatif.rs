@@ -1,0 +1,198 @@
+//! The "CR-WAN vs. on-path FEC" what-if analysis of §6.2.2 (Figure 8(c)).
+//!
+//! The paper replays the delivery trace of each PlanetLab path and asks: had
+//! the sender protected the stream with traditional on-path FEC at 20 %, 40 %
+//! or 100 % overhead, how many of the observed losses could have been
+//! repaired?  The probes are grouped into five-packet data bursts, and the
+//! following probes of the trace stand in for the FEC packets of that block —
+//! so the FEC packets experience the *same* loss process as the data.  A lost
+//! data packet is repairable when the number of losses in the block does not
+//! exceed the number of FEC packets that themselves survived.
+//!
+//! CR-WAN, by contrast, recovers through the cloud path, so the same losses
+//! are repairable as long as coded packets reached DC2 and enough cooperating
+//! receivers respond — which the replay approximates by treating wide-area
+//! losses as recoverable (the companion deployment measurement, Figure 8(a),
+//! quantifies how well that holds in practice).
+
+/// Result of replaying one path's delivery trace under a recovery scheme.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WhatIfResult {
+    /// Packets lost on the direct path in the replay window.
+    pub lost: usize,
+    /// Of those, how many the scheme could repair.
+    pub recovered: usize,
+}
+
+impl WhatIfResult {
+    /// Recovery rate in `[0, 1]`; 1.0 when nothing was lost.
+    pub fn recovery_rate(&self) -> f64 {
+        if self.lost == 0 {
+            1.0
+        } else {
+            self.recovered as f64 / self.lost as f64
+        }
+    }
+}
+
+/// Replays a delivery trace under block FEC applied on the direct path.
+///
+/// * `delivered[i]` is whether probe `i` arrived on the direct Internet path.
+/// * `block` is the number of data packets per FEC block (5 in the paper).
+/// * `fec_per_block` is the number of FEC packets appended to each block
+///   (1 → 20 % overhead, 2 → 40 %, 5 → 100 %).
+///
+/// The trace is consumed in groups of `block + fec_per_block` probes: the
+/// first `block` act as data, the rest as the block's FEC packets.
+pub fn fec_on_path(delivered: &[bool], block: usize, fec_per_block: usize) -> WhatIfResult {
+    assert!(block >= 1, "block must hold at least one data packet");
+    let group = block + fec_per_block;
+    let mut result = WhatIfResult::default();
+    for chunk in delivered.chunks(group) {
+        if chunk.len() < group {
+            // Partial trailing group: count data losses but give them no FEC.
+            result.lost += chunk.iter().take(block).filter(|d| !**d).count();
+            continue;
+        }
+        let data_lost = chunk[..block].iter().filter(|d| !**d).count();
+        let fec_survived = chunk[block..].iter().filter(|d| **d).count();
+        result.lost += data_lost;
+        if data_lost > 0 && data_lost <= fec_survived {
+            result.recovered += data_lost;
+        }
+    }
+    result
+}
+
+/// Replays a delivery trace under CR-WAN's cloud-assisted recovery.
+///
+/// `access_loss[i]`, when provided, marks probes that were lost on the access
+/// segment (source→DC1): those losses never reach the coding service and are
+/// *not* recoverable by CR-WAN (the paper notes ~98 % of access losses happen
+/// there and excludes them, assuming simple ARQ handles them).
+pub fn crwan_cloud_recovery(delivered: &[bool], access_loss: Option<&[bool]>) -> WhatIfResult {
+    let mut result = WhatIfResult::default();
+    for (i, d) in delivered.iter().enumerate() {
+        if *d {
+            continue;
+        }
+        result.lost += 1;
+        let lost_on_access = access_loss.map(|a| a.get(i).copied().unwrap_or(false)).unwrap_or(false);
+        if !lost_on_access {
+            result.recovered += 1;
+        }
+    }
+    result
+}
+
+/// Percentage increase in recovery rate of CR-WAN over an FEC scheme, the
+/// quantity plotted on the x-axis of Figure 8(c).  Returns 0 when FEC already
+/// recovers everything CR-WAN does.
+pub fn percent_increase(crwan: WhatIfResult, fec: WhatIfResult) -> f64 {
+    if crwan.recovered <= fec.recovered {
+        return 0.0;
+    }
+    if fec.recovered == 0 {
+        // The paper plots these on a log axis; cap the improvement at a large
+        // finite value so aggregation stays meaningful.
+        return 10_000.0;
+    }
+    (crwan.recovered as f64 - fec.recovered as f64) / fec.recovered as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_losses_means_full_recovery_rate() {
+        let trace = vec![true; 100];
+        let r = fec_on_path(&trace, 5, 1);
+        assert_eq!(r.lost, 0);
+        assert_eq!(r.recovery_rate(), 1.0);
+    }
+
+    #[test]
+    fn single_random_loss_is_recovered_by_fec() {
+        // One data loss in the first block; its FEC packet arrives.
+        let mut trace = vec![true; 12];
+        trace[2] = false;
+        let r = fec_on_path(&trace, 5, 1);
+        assert_eq!(r.lost, 1);
+        assert_eq!(r.recovered, 1);
+    }
+
+    #[test]
+    fn burst_larger_than_fec_budget_is_not_recovered() {
+        // Three losses in one block with only one FEC packet.
+        let mut trace = vec![true; 12];
+        trace[0] = false;
+        trace[1] = false;
+        trace[2] = false;
+        let r = fec_on_path(&trace, 5, 1);
+        assert_eq!(r.lost, 3);
+        assert_eq!(r.recovered, 0);
+        // With 100% overhead (5 FEC packets) the same burst is repairable.
+        let mut trace = vec![true; 20];
+        trace[0] = false;
+        trace[1] = false;
+        trace[2] = false;
+        let r = fec_on_path(&trace, 5, 5);
+        assert_eq!(r.recovered, 3);
+    }
+
+    #[test]
+    fn lost_fec_packets_do_not_help() {
+        // Data loss plus the block's only FEC packet also lost.
+        let mut trace = vec![true; 6];
+        trace[1] = false;
+        trace[5] = false; // the FEC slot
+        let r = fec_on_path(&trace, 5, 1);
+        assert_eq!(r.lost, 1);
+        assert_eq!(r.recovered, 0);
+    }
+
+    #[test]
+    fn outage_defeats_even_full_duplication_but_not_crwan() {
+        // A 30-probe outage spanning several blocks: every FEC packet in the
+        // affected groups is lost too, so on-path FEC recovers nothing there.
+        let mut trace = vec![true; 100];
+        for d in trace.iter_mut().skip(20).take(30) {
+            *d = false;
+        }
+        let fec_full = fec_on_path(&trace, 5, 5);
+        assert_eq!(fec_full.recovered, 0);
+        let crwan = crwan_cloud_recovery(&trace, None);
+        assert_eq!(crwan.recovered, crwan.lost);
+        assert!(percent_increase(crwan, fec_full) > 100.0);
+    }
+
+    #[test]
+    fn access_losses_are_excluded_from_crwan_recovery() {
+        let delivered = vec![true, false, true, false, true];
+        let access = vec![false, true, false, false, false];
+        let r = crwan_cloud_recovery(&delivered, Some(&access));
+        assert_eq!(r.lost, 2);
+        assert_eq!(r.recovered, 1);
+    }
+
+    #[test]
+    fn percent_increase_edge_cases() {
+        let crwan = WhatIfResult { lost: 10, recovered: 10 };
+        let fec_same = WhatIfResult { lost: 10, recovered: 10 };
+        assert_eq!(percent_increase(crwan, fec_same), 0.0);
+        let fec_zero = WhatIfResult { lost: 10, recovered: 0 };
+        assert_eq!(percent_increase(crwan, fec_zero), 10_000.0);
+        let fec_half = WhatIfResult { lost: 10, recovered: 5 };
+        assert_eq!(percent_increase(crwan, fec_half), 100.0);
+    }
+
+    #[test]
+    fn partial_trailing_group_counts_losses_conservatively() {
+        // 7 probes with block=5, fec=1: the last group is incomplete.
+        let trace = vec![true, true, true, true, true, true, false];
+        let r = fec_on_path(&trace, 5, 1);
+        assert_eq!(r.lost, 1);
+        assert_eq!(r.recovered, 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! CR-WAN: the coding service (§4).
+//!
+//! * [`params`] — coding plan / rate parameters (`k`, `r`, `s`, timers).
+//! * [`queues`] — Algorithm 1: the in-stream and cross-stream queue
+//!   structures maintained at DC1.
+//! * [`encoder`] — turning ready batches into Reed–Solomon coded packets and
+//!   decoding them back during cooperative recovery.
+//! * [`engine`] — the standalone multi-threaded encoding engine benchmarked
+//!   in Figure 10.
+//! * [`fec_whatif`] — the on-path FEC comparison replay of Figure 8(c).
+
+pub mod encoder;
+pub mod engine;
+pub mod fec_whatif;
+pub mod params;
+pub mod queues;

@@ -1,0 +1,501 @@
+//! The coding plan: Algorithm 1 of the paper.
+//!
+//! DC1 maintains two families of queues:
+//!
+//! * one **in-stream** queue per flow — when it reaches the FEC block size,
+//!   an in-stream coded packet is produced;
+//! * a set of **cross-stream** queues per destination DC — a packet is placed
+//!   into the next queue (round-robin) that does not already hold a packet of
+//!   the same flow; when a queue reaches `k` distinct flows, cross-stream
+//!   coded packets are produced.
+//!
+//! Queues also carry an age bound: a queue whose oldest packet exceeds the
+//! configured `queue_timeout` is flushed even when not full, bounding the
+//! encoding delay for slow flows (end of §4.3).
+
+use std::collections::HashMap;
+
+use netsim::{NodeId, Time};
+
+use crate::coding::params::CodingParams;
+use crate::packet::{CodingKind, DataPacket, FlowId};
+
+/// One data packet waiting in a coding queue, together with the receiver that
+/// is the destination of its flow (needed later for cooperative recovery).
+#[derive(Clone, Debug)]
+pub struct QueuedPacket {
+    /// The data packet.
+    pub packet: DataPacket,
+    /// Destination receiver node of the packet's flow.
+    pub receiver: NodeId,
+}
+
+/// A batch of packets that is ready to be encoded.
+#[derive(Clone, Debug)]
+pub struct ReadyBatch {
+    /// Whether this came from an in-stream or a cross-stream queue.
+    pub kind: CodingKind,
+    /// Destination (egress) DC the coded packets should be sent to.
+    pub dc2: NodeId,
+    /// The member packets in shard order.
+    pub packets: Vec<QueuedPacket>,
+}
+
+/// Per-flow routing metadata registered with the coding plan.
+#[derive(Clone, Copy, Debug)]
+struct FlowInfo {
+    dc2: NodeId,
+    receiver: NodeId,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Queue {
+    packets: Vec<QueuedPacket>,
+    oldest: Option<Time>,
+}
+
+impl Queue {
+    fn push(&mut self, qp: QueuedPacket, now: Time) {
+        if self.packets.is_empty() {
+            self.oldest = Some(now);
+        }
+        self.packets.push(qp);
+    }
+
+    fn contains_flow(&self, flow: FlowId) -> bool {
+        self.packets.iter().any(|qp| qp.packet.flow == flow)
+    }
+
+    fn take(&mut self) -> Vec<QueuedPacket> {
+        self.oldest = None;
+        std::mem::take(&mut self.packets)
+    }
+
+    fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    fn age_exceeds(&self, now: Time, timeout: netsim::Dur) -> bool {
+        self.oldest
+            .map(|t| now.saturating_since(t) >= timeout)
+            .unwrap_or(false)
+    }
+}
+
+/// Counters describing the behaviour of the coding plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Packets accepted into the plan.
+    pub packets_in: u64,
+    /// In-stream batches emitted.
+    pub in_stream_batches: u64,
+    /// Cross-stream batches emitted because a queue filled up.
+    pub cross_batches_full: u64,
+    /// Cross-stream batches emitted because a queue timed out.
+    pub cross_batches_timeout: u64,
+    /// Cross-stream batches emitted because every queue already contained the
+    /// arriving packet's flow (line 14 of Algorithm 1).
+    pub cross_batches_collision: u64,
+    /// Packets discarded because a single-flow queue had to be cleared
+    /// (line 18 of Algorithm 1).
+    pub packets_discarded: u64,
+}
+
+/// DC1's coding plan: the queue structures of Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct CodingQueues {
+    params: CodingParams,
+    flows: HashMap<FlowId, FlowInfo>,
+    in_stream: HashMap<FlowId, Queue>,
+    cross: HashMap<NodeId, Vec<Queue>>,
+    rr_index: HashMap<FlowId, usize>,
+    stats: PlanStats,
+}
+
+impl CodingQueues {
+    /// Creates an empty coding plan.
+    pub fn new(params: CodingParams) -> Self {
+        params.validate().expect("invalid coding parameters");
+        CodingQueues {
+            params,
+            flows: HashMap::new(),
+            in_stream: HashMap::new(),
+            cross: HashMap::new(),
+            rr_index: HashMap::new(),
+            stats: PlanStats::default(),
+        }
+    }
+
+    /// The parameters the plan was built with.
+    pub fn params(&self) -> CodingParams {
+        self.params
+    }
+
+    /// Counters gathered so far.
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// Registers a flow's destination DC and receiver; packets of
+    /// unregistered flows are rejected by [`CodingQueues::process`].
+    pub fn register_flow(&mut self, flow: FlowId, dc2: NodeId, receiver: NodeId) {
+        self.flows.insert(flow, FlowInfo { dc2, receiver });
+    }
+
+    /// Whether a flow has been registered.
+    pub fn knows_flow(&self, flow: FlowId) -> bool {
+        self.flows.contains_key(&flow)
+    }
+
+    /// Handles an arriving packet (the body of `dc1_process` in Algorithm 1)
+    /// and returns any batches that became ready.
+    pub fn process(&mut self, packet: DataPacket, now: Time) -> Vec<ReadyBatch> {
+        let info = match self.flows.get(&packet.flow) {
+            Some(i) => *i,
+            None => return vec![],
+        };
+        self.stats.packets_in += 1;
+        let mut ready = Vec::new();
+        let qp = QueuedPacket { packet, receiver: info.receiver };
+
+        // (1) In-stream coding: one queue per flow.
+        if self.params.in_stream_enabled {
+            let q = self.in_stream.entry(qp.packet.flow).or_default();
+            q.push(qp.clone(), now);
+            if q.len() >= self.params.in_stream_block {
+                let packets = q.take();
+                self.stats.in_stream_batches += 1;
+                ready.push(ReadyBatch {
+                    kind: CodingKind::InStream,
+                    dc2: info.dc2,
+                    packets,
+                });
+            }
+        }
+
+        // (2) Cross-stream coding.
+        let k = self.params.k;
+        let queue_count = self.params.cross_queue_count;
+        let queues = self
+            .cross
+            .entry(info.dc2)
+            .or_insert_with(|| vec![Queue::default(); queue_count]);
+        let flow = qp.packet.flow;
+        // Round-robin starting point for this *flow* (Algorithm 1's
+        // `next_round_robin_q(flow_id)`): consecutive packets of one flow
+        // start from successive queues, while different flows converge on the
+        // same queue so batches fill quickly.
+        let rr = self.rr_index.entry(flow).or_insert(0);
+        let mut q_index = *rr % queue_count;
+        *rr = (*rr + 1) % queue_count;
+        let initial_q = q_index;
+
+        // Find a queue that doesn't already hold a packet from this flow.
+        loop {
+            if !queues[q_index].contains_flow(flow) {
+                break;
+            }
+            q_index = (q_index + 1) % queue_count;
+            if q_index == initial_q {
+                // Every queue holds this flow already: free the initial one.
+                if queues[q_index].len() > 1 {
+                    let packets = queues[q_index].take();
+                    self.stats.cross_batches_collision += 1;
+                    ready.push(ReadyBatch {
+                        kind: CodingKind::CrossStream,
+                        dc2: info.dc2,
+                        packets,
+                    });
+                } else {
+                    // A lone packet from this same flow: coding it with only
+                    // itself is useless, so it is discarded (line 18).
+                    self.stats.packets_discarded += queues[q_index].len() as u64;
+                    queues[q_index].take();
+                }
+                break;
+            }
+        }
+
+        queues[q_index].push(qp, now);
+        if queues[q_index].len() >= k {
+            let packets = queues[q_index].take();
+            self.stats.cross_batches_full += 1;
+            ready.push(ReadyBatch {
+                kind: CodingKind::CrossStream,
+                dc2: info.dc2,
+                packets,
+            });
+        }
+        ready
+    }
+
+    /// Flushes queues whose oldest packet exceeds the encoding-delay bound.
+    /// Called periodically by DC1's timer.
+    pub fn flush_expired(&mut self, now: Time) -> Vec<ReadyBatch> {
+        let timeout = self.params.queue_timeout;
+        let mut ready = Vec::new();
+
+        if self.params.in_stream_enabled {
+            for (flow, q) in self.in_stream.iter_mut() {
+                if q.len() >= 2 && q.age_exceeds(now, timeout) {
+                    let packets = q.take();
+                    let dc2 = self.flows[flow].dc2;
+                    self.stats.in_stream_batches += 1;
+                    ready.push(ReadyBatch { kind: CodingKind::InStream, dc2, packets });
+                }
+            }
+        }
+
+        for (dc2, queues) in self.cross.iter_mut() {
+            for q in queues.iter_mut() {
+                // Per Algorithm 1's timer rule, an expired queue is encoded
+                // with whatever it holds — even a single packet.  A
+                // single-member "cross-stream" packet degenerates into a
+                // cloud copy of that packet, which is how a flow that is much
+                // faster than its companions keeps its protection.
+                if q.len() >= 1 && q.age_exceeds(now, timeout) {
+                    let packets = q.take();
+                    self.stats.cross_batches_timeout += 1;
+                    ready.push(ReadyBatch {
+                        kind: CodingKind::CrossStream,
+                        dc2: *dc2,
+                        packets,
+                    });
+                }
+            }
+        }
+        ready
+    }
+
+    /// Flushes everything still queued (used at the end of an experiment).
+    pub fn flush_all(&mut self) -> Vec<ReadyBatch> {
+        let mut ready = Vec::new();
+        if self.params.in_stream_enabled {
+            for (flow, q) in self.in_stream.iter_mut() {
+                if q.len() >= 2 {
+                    let packets = q.take();
+                    let dc2 = self.flows[flow].dc2;
+                    ready.push(ReadyBatch { kind: CodingKind::InStream, dc2, packets });
+                }
+            }
+        }
+        for (dc2, queues) in self.cross.iter_mut() {
+            for q in queues.iter_mut() {
+                if q.len() >= 2 {
+                    let packets = q.take();
+                    ready.push(ReadyBatch {
+                        kind: CodingKind::CrossStream,
+                        dc2: *dc2,
+                        packets,
+                    });
+                }
+            }
+        }
+        ready
+    }
+
+    /// Invariant check used by tests and debug assertions: no cross-stream
+    /// queue ever holds two packets of the same flow.
+    pub fn check_invariants(&self) -> bool {
+        for queues in self.cross.values() {
+            for q in queues {
+                let mut seen = std::collections::HashSet::new();
+                for qp in &q.packets {
+                    if !seen.insert(qp.packet.flow) {
+                        return false;
+                    }
+                }
+                if q.len() > self.params.k {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use netsim::Dur;
+    use proptest::prelude::*;
+
+    fn params() -> CodingParams {
+        CodingParams {
+            k: 4,
+            cross_parity: 2,
+            in_stream_block: 5,
+            in_stream_parity: 1,
+            in_stream_enabled: true,
+            cross_queue_count: 3,
+            queue_timeout: Dur::from_millis(30),
+        }
+    }
+
+    fn pkt(flow: u32, seq: u64) -> DataPacket {
+        DataPacket::new(FlowId(flow), seq, Bytes::from(vec![flow as u8; 64]), Time::ZERO)
+    }
+
+    fn plan_with_flows(n: u32) -> CodingQueues {
+        let mut q = CodingQueues::new(params());
+        for f in 0..n {
+            q.register_flow(FlowId(f), NodeId(100), NodeId(200 + f as usize));
+        }
+        q
+    }
+
+    #[test]
+    fn unregistered_flows_are_ignored() {
+        let mut q = plan_with_flows(1);
+        let ready = q.process(pkt(99, 0), Time::ZERO);
+        assert!(ready.is_empty());
+        assert_eq!(q.stats().packets_in, 0);
+    }
+
+    #[test]
+    fn in_stream_batch_emitted_at_block_size() {
+        let mut q = plan_with_flows(1);
+        let mut batches = vec![];
+        for seq in 0..5 {
+            batches.extend(q.process(pkt(0, seq), Time::from_millis(seq)));
+        }
+        let in_stream: Vec<&ReadyBatch> =
+            batches.iter().filter(|b| b.kind == CodingKind::InStream).collect();
+        assert_eq!(in_stream.len(), 1);
+        assert_eq!(in_stream[0].packets.len(), 5);
+        assert!(in_stream[0]
+            .packets
+            .iter()
+            .all(|p| p.packet.flow == FlowId(0)));
+    }
+
+    #[test]
+    fn cross_batch_fills_with_distinct_flows() {
+        let mut q = plan_with_flows(4);
+        let mut batches = vec![];
+        for f in 0..4u32 {
+            batches.extend(q.process(pkt(f, 0), Time::from_millis(f as u64)));
+        }
+        let cross: Vec<&ReadyBatch> =
+            batches.iter().filter(|b| b.kind == CodingKind::CrossStream).collect();
+        assert_eq!(cross.len(), 1, "one cross batch once k distinct flows arrive");
+        assert_eq!(cross[0].packets.len(), 4);
+        let flows: std::collections::HashSet<FlowId> =
+            cross[0].packets.iter().map(|p| p.packet.flow).collect();
+        assert_eq!(flows.len(), 4, "members are distinct flows");
+        assert!(q.check_invariants());
+    }
+
+    #[test]
+    fn same_flow_packets_never_share_a_cross_queue() {
+        let mut q = plan_with_flows(2);
+        // Pump many packets from only two flows; the invariant must hold
+        // throughout and collisions must trigger flush-or-discard.
+        for seq in 0..50 {
+            q.process(pkt(0, seq), Time::from_millis(seq));
+            q.process(pkt(1, seq), Time::from_millis(seq));
+            assert!(q.check_invariants(), "invariant violated at seq {seq}");
+        }
+        let s = q.stats();
+        assert!(s.cross_batches_collision + s.cross_batches_full + s.packets_discarded > 0);
+    }
+
+    #[test]
+    fn single_fast_flow_discards_rather_than_self_coding() {
+        // Only one flow: every cross queue will only ever hold that flow, so
+        // the plan must keep discarding stale single-packet queues instead of
+        // emitting useless single-member cross batches.
+        let mut q = plan_with_flows(1);
+        let mut cross_batches = 0;
+        for seq in 0..30 {
+            for b in q.process(pkt(0, seq), Time::from_millis(seq)) {
+                if b.kind == CodingKind::CrossStream {
+                    cross_batches += 1;
+                    assert!(b.packets.len() >= 2);
+                }
+            }
+        }
+        assert_eq!(cross_batches, 0);
+        assert!(q.stats().packets_discarded > 0);
+    }
+
+    #[test]
+    fn timeout_flushes_partial_batches() {
+        let mut q = plan_with_flows(3);
+        q.process(pkt(0, 0), Time::from_millis(0));
+        q.process(pkt(1, 0), Time::from_millis(1));
+        // Not full (k = 4) and not timed out yet.
+        assert!(q.flush_expired(Time::from_millis(10)).is_empty());
+        let flushed = q.flush_expired(Time::from_millis(31));
+        let cross: Vec<&ReadyBatch> =
+            flushed.iter().filter(|b| b.kind == CodingKind::CrossStream).collect();
+        assert_eq!(cross.len(), 1);
+        assert_eq!(cross[0].packets.len(), 2);
+        assert_eq!(q.stats().cross_batches_timeout, 1);
+    }
+
+    #[test]
+    fn flush_all_drains_everything() {
+        let mut q = plan_with_flows(3);
+        for f in 0..3u32 {
+            q.process(pkt(f, 0), Time::ZERO);
+            q.process(pkt(f, 1), Time::ZERO);
+        }
+        let drained = q.flush_all();
+        assert!(!drained.is_empty());
+        assert!(drained.iter().all(|b| b.packets.len() >= 2));
+        // Nothing left to flush afterwards.
+        assert!(q.flush_all().is_empty());
+    }
+
+    #[test]
+    fn flows_to_different_dc2_never_mix() {
+        let mut q = CodingQueues::new(params());
+        q.register_flow(FlowId(0), NodeId(100), NodeId(10));
+        q.register_flow(FlowId(1), NodeId(100), NodeId(11));
+        q.register_flow(FlowId(2), NodeId(101), NodeId(12));
+        q.register_flow(FlowId(3), NodeId(101), NodeId(13));
+        let mut batches = vec![];
+        for seq in 0..20 {
+            for f in 0..4u32 {
+                batches.extend(q.process(pkt(f, seq), Time::from_millis(seq)));
+            }
+        }
+        batches.extend(q.flush_all());
+        for b in batches.iter().filter(|b| b.kind == CodingKind::CrossStream) {
+            let flows: Vec<u32> = b.packets.iter().map(|p| p.packet.flow.0).collect();
+            if b.dc2 == NodeId(100) {
+                assert!(flows.iter().all(|f| *f < 2), "{flows:?}");
+            } else {
+                assert!(flows.iter().all(|f| *f >= 2), "{flows:?}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Algorithm 1 invariant under arbitrary arrival patterns: no
+        /// cross-stream queue ever holds two packets of the same flow, and
+        /// every emitted cross batch has 2..=k members from distinct flows.
+        #[test]
+        fn prop_cross_batches_are_well_formed(
+            arrivals in proptest::collection::vec((0u32..6, 0u64..40), 1..300)
+        ) {
+            let mut q = plan_with_flows(6);
+            let mut all = vec![];
+            for (i, (flow, seq)) in arrivals.iter().enumerate() {
+                all.extend(q.process(pkt(*flow, *seq), Time::from_millis(i as u64)));
+                prop_assert!(q.check_invariants());
+            }
+            all.extend(q.flush_all());
+            for b in all.iter().filter(|b| b.kind == CodingKind::CrossStream) {
+                prop_assert!(b.packets.len() >= 2 && b.packets.len() <= 4);
+                let flows: std::collections::HashSet<FlowId> =
+                    b.packets.iter().map(|p| p.packet.flow).collect();
+                prop_assert_eq!(flows.len(), b.packets.len());
+            }
+        }
+    }
+}

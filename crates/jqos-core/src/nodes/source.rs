@@ -1,0 +1,116 @@
+//! Traffic sources that drive [`crate::nodes::sender::SenderNode`].
+//!
+//! A [`TrafficSource`] decides when the next application packet is generated
+//! and how large it is.  The `workloads` crate provides the realistic sources
+//! used in the paper's evaluation (CBR with ON/OFF periods, video frames, web
+//! transfers); this module provides the simple ones needed by unit tests and
+//! the quickstart example.
+
+use netsim::Dur;
+use rand::rngs::SmallRng;
+
+/// A schedule of application packets.
+pub trait TrafficSource: Send + 'static {
+    /// Returns the gap until the next packet and its payload size, or `None`
+    /// when the source has finished.
+    fn next_packet(&mut self, rng: &mut SmallRng) -> Option<(Dur, usize)>;
+}
+
+/// A constant-bitrate source: fixed packet size and inter-packet gap, for a
+/// fixed number of packets.
+#[derive(Clone, Debug)]
+pub struct CbrSource {
+    interval: Dur,
+    payload: usize,
+    remaining: u64,
+}
+
+impl CbrSource {
+    /// Creates a CBR source emitting `count` packets of `payload` bytes every
+    /// `interval`.
+    pub fn new(interval: Dur, payload: usize, count: u64) -> Self {
+        CbrSource {
+            interval,
+            payload,
+            remaining: count,
+        }
+    }
+
+    /// A source matching a target bitrate (bits per second).
+    pub fn from_bitrate(bits_per_sec: u64, payload: usize, count: u64) -> Self {
+        let packets_per_sec = (bits_per_sec as f64 / (payload as f64 * 8.0)).max(1.0);
+        CbrSource {
+            interval: Dur::from_secs_f64(1.0 / packets_per_sec),
+            payload,
+            remaining: count,
+        }
+    }
+}
+
+impl TrafficSource for CbrSource {
+    fn next_packet(&mut self, _rng: &mut SmallRng) -> Option<(Dur, usize)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some((self.interval, self.payload))
+    }
+}
+
+/// A source that replays an explicit schedule of `(gap, size)` pairs; useful
+/// in tests that need precise control over packet timing.
+#[derive(Clone, Debug)]
+pub struct ScheduleSource {
+    entries: std::collections::VecDeque<(Dur, usize)>,
+}
+
+impl ScheduleSource {
+    /// Creates a source from a list of `(gap_before_packet, payload_size)`.
+    pub fn new(entries: Vec<(Dur, usize)>) -> Self {
+        ScheduleSource {
+            entries: entries.into(),
+        }
+    }
+}
+
+impl TrafficSource for ScheduleSource {
+    fn next_packet(&mut self, _rng: &mut SmallRng) -> Option<(Dur, usize)> {
+        self.entries.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::rng::component_rng;
+
+    #[test]
+    fn cbr_source_emits_exactly_count_packets() {
+        let mut rng = component_rng(1, 0);
+        let mut s = CbrSource::new(Dur::from_millis(20), 512, 3);
+        assert_eq!(s.next_packet(&mut rng), Some((Dur::from_millis(20), 512)));
+        assert_eq!(s.next_packet(&mut rng), Some((Dur::from_millis(20), 512)));
+        assert_eq!(s.next_packet(&mut rng), Some((Dur::from_millis(20), 512)));
+        assert_eq!(s.next_packet(&mut rng), None);
+    }
+
+    #[test]
+    fn bitrate_constructor_matches_rate() {
+        // 1.5 Mbps with 500-byte packets => 375 packets/s => ~2.67 ms gap.
+        let s = CbrSource::from_bitrate(1_500_000, 500, 10);
+        let gap_ms = s.interval.as_millis_f64();
+        assert!((gap_ms - 2.667).abs() < 0.01, "gap {gap_ms}");
+    }
+
+    #[test]
+    fn schedule_source_replays_entries_in_order() {
+        let mut rng = component_rng(2, 0);
+        let mut s = ScheduleSource::new(vec![
+            (Dur::from_millis(1), 10),
+            (Dur::from_millis(100), 20),
+        ]);
+        assert_eq!(s.next_packet(&mut rng), Some((Dur::from_millis(1), 10)));
+        assert_eq!(s.next_packet(&mut rng), Some((Dur::from_millis(100), 20)));
+        assert_eq!(s.next_packet(&mut rng), None);
+    }
+}

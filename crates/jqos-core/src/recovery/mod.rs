@@ -1,0 +1,3 @@
+//! Receiver-driven loss detection and recovery support (§3.4).
+
+pub mod markov;

@@ -1,0 +1,142 @@
+//! The forwarding service (§3.1).
+//!
+//! "Similar to IP forwarding, our forwarding service decides the next hop
+//! based on the destination address of the packet."  The overlay is tiny (a
+//! handful of DCs), so the table is a simple map from flow to a next hop,
+//! which can be another DC, the receiver itself, or a multicast group.  The
+//! same table also powers the multicast and hybrid-multicast use cases of
+//! Figure 3.
+
+use std::collections::HashMap;
+
+use netsim::NodeId;
+
+use crate::packet::FlowId;
+
+/// Where a forwarded packet should go next.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NextHop {
+    /// Hand the packet to a single node (another DC service or the receiver).
+    Node(NodeId),
+    /// Replicate the packet to every member of a multicast group.
+    Multicast(GroupId),
+    /// Drop the packet (no route configured).
+    Discard,
+}
+
+/// Identifier of a multicast group maintained by a DC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u32);
+
+/// The per-DC forwarding state: flow → next hop plus multicast membership.
+#[derive(Clone, Debug, Default)]
+pub struct ForwardingTable {
+    routes: HashMap<FlowId, NextHop>,
+    groups: HashMap<GroupId, Vec<NodeId>>,
+    default_route: Option<NodeId>,
+}
+
+impl ForwardingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) the route for a flow.
+    pub fn set_route(&mut self, flow: FlowId, next: NextHop) {
+        self.routes.insert(flow, next);
+    }
+
+    /// Sets a default next hop used for flows with no explicit route — in a
+    /// full overlay this is "the other DC".
+    pub fn set_default(&mut self, next: NodeId) {
+        self.default_route = Some(next);
+    }
+
+    /// Adds a member to a multicast group (creating the group on first use).
+    pub fn join_group(&mut self, group: GroupId, member: NodeId) {
+        let members = self.groups.entry(group).or_default();
+        if !members.contains(&member) {
+            members.push(member);
+        }
+    }
+
+    /// Removes a member from a multicast group.
+    pub fn leave_group(&mut self, group: GroupId, member: NodeId) {
+        if let Some(members) = self.groups.get_mut(&group) {
+            members.retain(|m| *m != member);
+        }
+    }
+
+    /// Members of a group (empty if unknown).
+    pub fn group_members(&self, group: GroupId) -> &[NodeId] {
+        self.groups.get(&group).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of installed per-flow routes.
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Resolves the destinations for a packet of `flow`: a single node, the
+    /// expanded multicast membership, or nothing.
+    pub fn resolve(&self, flow: FlowId) -> Vec<NodeId> {
+        match self.routes.get(&flow) {
+            Some(NextHop::Node(n)) => vec![*n],
+            Some(NextHop::Multicast(g)) => self.group_members(*g).to_vec(),
+            Some(NextHop::Discard) => vec![],
+            None => self.default_route.map(|n| vec![n]).unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_route_wins_over_default() {
+        let mut t = ForwardingTable::new();
+        t.set_default(NodeId(9));
+        t.set_route(FlowId(1), NextHop::Node(NodeId(3)));
+        assert_eq!(t.resolve(FlowId(1)), vec![NodeId(3)]);
+        assert_eq!(t.resolve(FlowId(2)), vec![NodeId(9)]);
+        assert_eq!(t.route_count(), 1);
+    }
+
+    #[test]
+    fn no_route_and_no_default_discards() {
+        let t = ForwardingTable::new();
+        assert!(t.resolve(FlowId(7)).is_empty());
+    }
+
+    #[test]
+    fn discard_route_overrides_default() {
+        let mut t = ForwardingTable::new();
+        t.set_default(NodeId(1));
+        t.set_route(FlowId(5), NextHop::Discard);
+        assert!(t.resolve(FlowId(5)).is_empty());
+    }
+
+    #[test]
+    fn multicast_expansion_and_membership_changes() {
+        let mut t = ForwardingTable::new();
+        let g = GroupId(1);
+        t.join_group(g, NodeId(10));
+        t.join_group(g, NodeId(11));
+        t.join_group(g, NodeId(11)); // duplicate join is idempotent
+        t.set_route(FlowId(4), NextHop::Multicast(g));
+        assert_eq!(t.resolve(FlowId(4)), vec![NodeId(10), NodeId(11)]);
+        t.leave_group(g, NodeId(10));
+        assert_eq!(t.resolve(FlowId(4)), vec![NodeId(11)]);
+        assert_eq!(t.group_members(GroupId(99)), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn replacing_a_route_changes_resolution() {
+        let mut t = ForwardingTable::new();
+        t.set_route(FlowId(1), NextHop::Node(NodeId(2)));
+        t.set_route(FlowId(1), NextHop::Node(NodeId(5)));
+        assert_eq!(t.resolve(FlowId(1)), vec![NodeId(5)]);
+    }
+}

@@ -1,0 +1,4 @@
+//! The cloud-side reliability services of J-QoS (§3).
+
+pub mod caching;
+pub mod forwarding;

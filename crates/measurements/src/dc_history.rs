@@ -1,0 +1,122 @@
+//! The shrinking end-host → nearest-DC latency over time (Figure 7(d)).
+//!
+//! Northern-European hosts saw their nearest cloud region move closer over
+//! the years: Ireland (2007), then Frankfurt (2014), then Stockholm (2018).
+//! The paper plots the latency CDF from the same host set to each of those
+//! regions to argue that δ keeps shrinking.  This module models each era as a
+//! latency distribution whose scale reflects the geographic distance from a
+//! northern-EU host population to the then-nearest region.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use netsim::rng::{component_rng, sample_lognormal};
+
+/// Which data-center generation serves the northern-EU host population.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DcEra {
+    /// Ireland, opened 2007 — the only nearby region for years.
+    Ireland2007,
+    /// Frankfurt, opened 2014.
+    Frankfurt2014,
+    /// Stockholm, opened 2018 — the "Now" curve in the paper.
+    Stockholm2018,
+}
+
+impl DcEra {
+    /// All eras, oldest first.
+    pub const ALL: [DcEra; 3] = [DcEra::Ireland2007, DcEra::Frankfurt2014, DcEra::Stockholm2018];
+
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DcEra::Ireland2007 => "Ireland (2007)",
+            DcEra::Frankfurt2014 => "Frankfurt (2014)",
+            DcEra::Stockholm2018 => "Now (Stockholm 2018)",
+        }
+    }
+
+    /// Typical (median) latency from a northern-EU host to this DC, one-way
+    /// milliseconds.
+    fn median_ms(&self) -> f64 {
+        match self {
+            DcEra::Ireland2007 => 22.0,
+            DcEra::Frankfurt2014 => 14.0,
+            DcEra::Stockholm2018 => 6.0,
+        }
+    }
+
+    /// Spread (sigma of the underlying lognormal).
+    fn sigma(&self) -> f64 {
+        match self {
+            DcEra::Ireland2007 => 0.45,
+            DcEra::Frankfurt2014 => 0.40,
+            DcEra::Stockholm2018 => 0.50,
+        }
+    }
+
+    /// Samples one host's δ (one-way ms) to the era's nearest DC.
+    pub fn sample_delta_ms(&self, rng: &mut SmallRng) -> f64 {
+        let mu = self.median_ms().ln();
+        let base = sample_lognormal(rng, mu, self.sigma());
+        // A small per-host access floor.
+        (base + rng.gen::<f64>()).min(60.0)
+    }
+}
+
+/// Generates δ samples for `hosts` northern-EU hosts for each era, so the
+/// Figure 7(d) CDFs can be rebuilt.
+pub fn northern_eu_delta_by_era(hosts: usize, seed: u64) -> Vec<(DcEra, Vec<f64>)> {
+    DcEra::ALL
+        .iter()
+        .map(|era| {
+            let mut rng = component_rng(seed, *era as u64 + 0xD0);
+            let samples = (0..hosts).map(|_| era.sample_delta_ms(&mut rng)).collect();
+            (*era, samples)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::stats::Cdf;
+
+    #[test]
+    fn medians_shrink_across_eras() {
+        let data = northern_eu_delta_by_era(5_000, 11);
+        let medians: Vec<f64> = data
+            .iter()
+            .map(|(_, samples)| Cdf::from_samples(samples.clone()).median().unwrap())
+            .collect();
+        assert!(medians[0] > medians[1], "Ireland {0} vs Frankfurt {1}", medians[0], medians[1]);
+        assert!(medians[1] > medians[2], "Frankfurt {0} vs Stockholm {1}", medians[1], medians[2]);
+    }
+
+    #[test]
+    fn current_era_mostly_under_ten_ms() {
+        let data = northern_eu_delta_by_era(5_000, 11);
+        let (_, now) = data.last().unwrap();
+        let mut cdf = Cdf::from_samples(now.clone());
+        assert!(cdf.fraction_leq(10.0) > 0.6, "P(δ<10ms) = {}", cdf.fraction_leq(10.0));
+    }
+
+    #[test]
+    fn samples_are_positive_and_bounded() {
+        let data = northern_eu_delta_by_era(1_000, 3);
+        for (_, samples) in data {
+            assert!(samples.iter().all(|&d| d > 0.0 && d <= 61.0));
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(northern_eu_delta_by_era(100, 5), northern_eu_delta_by_era(100, 5));
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(DcEra::Stockholm2018.label(), "Now (Stockholm 2018)");
+        assert_eq!(DcEra::Ireland2007.label(), "Ireland (2007)");
+    }
+}

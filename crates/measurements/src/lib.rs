@@ -1,0 +1,29 @@
+//! # measurements — synthetic wide-area measurement datasets
+//!
+//! The paper's feasibility study (§6.1) uses latency measurements from
+//! ~6250 RIPE Atlas / PlanetLab paths between the US East Coast and Europe,
+//! and its CR-WAN deployment (§6.2) runs on 45 PlanetLab paths spanning four
+//! continents for over a month.  Neither testbed exists any more (PlanetLab
+//! was retired in 2020), so this crate generates *synthetic datasets whose
+//! distributions are calibrated to the statistics the paper reports*:
+//!
+//! * [`ripe`] — per-path latency samples (direct path `y`, access latencies
+//!   `δ`, inter-DC latency `x`) with the documented δ distribution
+//!   (55 % < 10 ms, 15 % > 20 ms) and the heavy Internet-path tail;
+//! * [`dc_history`] — the shrinking latency from northern-EU hosts to their
+//!   nearest DC as new regions opened (Ireland 2007 → Frankfurt 2014 →
+//!   Stockholm 2018), for Figure 7(d);
+//! * [`planetlab`] — 45 wide-area path characterisations (RTT, loss rate up
+//!   to 0.9 %, bursty losses, 1–3 s outages on ~45 % of paths) that drive the
+//!   Figure 8 experiments.
+//!
+//! All generators are deterministic functions of a seed.
+
+pub mod dc_history;
+pub mod planetlab;
+pub mod regions;
+pub mod ripe;
+
+pub use planetlab::{planetlab_paths, PlanetLabPath};
+pub use regions::{Region, RegionPair};
+pub use ripe::{ripe_atlas_paths, PathSample};

@@ -1,0 +1,253 @@
+//! The PlanetLab wide-area path set used by the CR-WAN deployment (§6.2).
+//!
+//! The paper evaluates 45 wide-area paths spanning four continents for over a
+//! month and reports the following properties, which this generator is
+//! calibrated to reproduce:
+//!
+//! * per-path loss rates up to 0.9 %, with ~40 % of paths above 0.1 %;
+//! * a mix of loss-episode types — random single losses, multi-packet bursts
+//!   and outages — with ~45 % of paths seeing outages of 1–3 s;
+//! * US–EU RTTs of 110–130 ms and receiver↔DC latencies between 16 and 70 ms
+//!   (mean ≈ 28 ms);
+//! * a small amount of access loss, ~98 % of it on the source→DC1 segment,
+//!   90 % of which is single-packet.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use netsim::loss::LossSpec;
+use netsim::rng::component_rng;
+use netsim::time::{Dur, Time};
+use netsim::topology::Topology;
+
+use crate::regions::{inter_dc_one_way_ms, Region, RegionPair};
+
+/// Characterisation of one wide-area path in the deployment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanetLabPath {
+    /// Path index (0-based, stable across runs for a given seed).
+    pub index: usize,
+    /// Sender / receiver regions.
+    pub regions: RegionPair,
+    /// One-way latency of the direct Internet path, ms.
+    pub y_ms: f64,
+    /// Sender ↔ DC1 latency, ms.
+    pub delta_s_ms: f64,
+    /// Inter-DC latency, ms.
+    pub x_ms: f64,
+    /// Receiver ↔ DC2 latency, ms.
+    pub delta_r_ms: f64,
+    /// Average wide-area loss rate of the direct path.
+    pub loss_rate: f64,
+    /// Mean burst length of loss episodes (packets).
+    pub mean_burst: f64,
+    /// Whether the path experiences occasional outages.
+    pub has_outages: bool,
+    /// Outage duration, seconds (1–3 s when present).
+    pub outage_secs: f64,
+    /// Mean interval between outages, seconds.
+    pub outage_interval_secs: f64,
+    /// Loss rate of the sender access segment (source→DC1), where ~98 % of
+    /// access losses occur.
+    pub sender_access_loss: f64,
+}
+
+impl PlanetLabPath {
+    /// Direct-path RTT in milliseconds.
+    pub fn rtt_ms(&self) -> f64 {
+        2.0 * self.y_ms
+    }
+
+    /// The wide-area loss model of the direct path: bursty background loss
+    /// plus periodic outages when the path has them.
+    pub fn internet_loss(&self) -> LossSpec {
+        let bursty = LossSpec::bursty(self.loss_rate, self.mean_burst);
+        if self.has_outages {
+            LossSpec::Compound(vec![
+                bursty,
+                LossSpec::PeriodicOutage {
+                    first: Time::from_millis_f64(self.outage_interval_secs * 0.61 * 1_000.0),
+                    period: Dur::from_secs_f64(self.outage_interval_secs),
+                    duration: Dur::from_secs_f64(self.outage_secs),
+                },
+            ])
+        } else {
+            bursty
+        }
+    }
+
+    /// The loss model of the sender access segment.
+    pub fn sender_access_loss_spec(&self) -> LossSpec {
+        if self.sender_access_loss > 0.0 {
+            LossSpec::Bernoulli(self.sender_access_loss)
+        } else {
+            LossSpec::None
+        }
+    }
+
+    /// Builds a simulator topology for this path.
+    pub fn topology(&self) -> Topology {
+        Topology::lossless(
+            Dur::from_millis_f64(self.y_ms),
+            Dur::from_millis_f64(self.delta_s_ms),
+            Dur::from_millis_f64(self.x_ms),
+            Dur::from_millis_f64(self.delta_r_ms),
+        )
+        .internet_loss(self.internet_loss())
+        .sender_access_loss(self.sender_access_loss_spec())
+    }
+}
+
+fn sample_region_pair(rng: &mut SmallRng) -> RegionPair {
+    // The deployment concentrates on intercontinental pairs; weight them the
+    // way the paper's Figure 8(d) groups results (US-EU, US-OC, EU-OC, plus
+    // some Asia paths).
+    let pairs = [
+        (RegionPair::new(Region::UsEast, Region::Europe), 0.30),
+        (RegionPair::new(Region::UsWest, Region::Oceania), 0.20),
+        (RegionPair::new(Region::Europe, Region::Oceania), 0.15),
+        (RegionPair::new(Region::UsEast, Region::Asia), 0.15),
+        (RegionPair::new(Region::Europe, Region::Asia), 0.10),
+        (RegionPair::new(Region::UsWest, Region::UsEast), 0.10),
+    ];
+    let mut u: f64 = rng.gen();
+    for (pair, w) in pairs {
+        if u < w {
+            return pair;
+        }
+        u -= w;
+    }
+    RegionPair::new(Region::UsEast, Region::Europe)
+}
+
+/// Generates the standard 45-path deployment.
+pub fn planetlab_paths(seed: u64) -> Vec<PlanetLabPath> {
+    planetlab_paths_n(45, seed)
+}
+
+/// Generates an arbitrary number of paths with the same statistics.
+pub fn planetlab_paths_n(n: usize, seed: u64) -> Vec<PlanetLabPath> {
+    let mut rng = component_rng(seed, 0x91A7);
+    (0..n)
+        .map(|index| {
+            let regions = sample_region_pair(&mut rng);
+            let base_y = regions.base_one_way_ms();
+            let y_ms = base_y * (0.9 + rng.gen::<f64>() * 0.3);
+            let x_ms = inter_dc_one_way_ms(regions.from, regions.to) * (0.9 + rng.gen::<f64>() * 0.2);
+            // Receiver-DC RTT varies 16–70 ms (mean 28) => one-way 8–35 ms.
+            let delta_r_ms = 8.0 + rng.gen::<f64>().powi(2) * 27.0;
+            let delta_s_ms = 5.0 + rng.gen::<f64>() * 15.0;
+
+            // Loss rate: 60% of paths below 0.1%, the rest up to 0.9%.
+            let loss_rate = if rng.gen::<f64>() < 0.6 {
+                rng.gen::<f64>() * 0.001
+            } else {
+                0.001 + rng.gen::<f64>() * 0.008
+            };
+            let mean_burst = 1.0 + rng.gen::<f64>() * 5.0;
+            let has_outages = rng.gen::<f64>() < 0.45;
+            let outage_secs = 1.0 + rng.gen::<f64>() * 2.0;
+            // Outages are rare events spread over the measurement window.
+            let outage_interval_secs = 400.0 + rng.gen::<f64>() * 400.0;
+            // A minority of paths see access loss near the source.
+            let sender_access_loss = if rng.gen::<f64>() < 0.3 {
+                rng.gen::<f64>() * 0.002
+            } else {
+                0.0
+            };
+
+            PlanetLabPath {
+                index,
+                regions,
+                y_ms,
+                delta_s_ms,
+                x_ms,
+                delta_r_ms,
+                loss_rate,
+                mean_burst,
+                has_outages,
+                outage_secs,
+                outage_interval_secs,
+                sender_access_loss,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths() -> Vec<PlanetLabPath> {
+        planetlab_paths(2020)
+    }
+
+    #[test]
+    fn standard_deployment_has_45_paths() {
+        assert_eq!(paths().len(), 45);
+        assert_eq!(planetlab_paths_n(100, 1).len(), 100);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(planetlab_paths(5), planetlab_paths(5));
+        assert_ne!(planetlab_paths(5), planetlab_paths(6));
+    }
+
+    #[test]
+    fn loss_rates_match_reported_statistics() {
+        let ps = paths();
+        assert!(ps.iter().all(|p| p.loss_rate <= 0.009 + 1e-9));
+        let above_01_percent = ps.iter().filter(|p| p.loss_rate > 0.001).count() as f64 / ps.len() as f64;
+        assert!(
+            (0.25..=0.55).contains(&above_01_percent),
+            "fraction of paths with >0.1% loss: {above_01_percent}"
+        );
+    }
+
+    #[test]
+    fn roughly_half_the_paths_have_outages_of_one_to_three_seconds() {
+        let ps = paths();
+        let with_outages = ps.iter().filter(|p| p.has_outages).count() as f64 / ps.len() as f64;
+        assert!((0.3..=0.6).contains(&with_outages), "outage fraction {with_outages}");
+        for p in ps.iter().filter(|p| p.has_outages) {
+            assert!((1.0..=3.0).contains(&p.outage_secs));
+        }
+    }
+
+    #[test]
+    fn receiver_dc_latency_matches_reported_range() {
+        let ps = paths();
+        // One-way δ_r of 8–35 ms corresponds to the 16–70 ms RTT range.
+        assert!(ps.iter().all(|p| (8.0..=35.0).contains(&p.delta_r_ms)));
+        let mean = ps.iter().map(|p| 2.0 * p.delta_r_ms).sum::<f64>() / ps.len() as f64;
+        assert!((20.0..=40.0).contains(&mean), "mean δ_r RTT {mean}");
+    }
+
+    #[test]
+    fn us_eu_paths_have_110_to_130ms_rtt() {
+        let ps = paths();
+        for p in ps.iter().filter(|p| {
+            p.regions == RegionPair::new(Region::UsEast, Region::Europe)
+        }) {
+            assert!((100.0..=160.0).contains(&p.rtt_ms()), "rtt {}", p.rtt_ms());
+        }
+    }
+
+    #[test]
+    fn topology_carries_the_path_latencies() {
+        let p = &paths()[0];
+        let t = p.topology();
+        assert!((t.y().as_millis_f64() - p.y_ms).abs() < 0.01);
+        assert!((t.delta_r().as_millis_f64() - p.delta_r_ms).abs() < 0.01);
+    }
+
+    #[test]
+    fn outage_paths_produce_compound_loss_specs() {
+        let ps = paths();
+        let with = ps.iter().find(|p| p.has_outages).unwrap();
+        let without = ps.iter().find(|p| !p.has_outages).unwrap();
+        assert!(matches!(with.internet_loss(), LossSpec::Compound(_)));
+        assert!(matches!(without.internet_loss(), LossSpec::GilbertElliott { .. }));
+    }
+}

@@ -1,0 +1,147 @@
+//! Geographic regions and baseline inter-region latencies.
+//!
+//! The CR-WAN deployment used five Azure regions in the US, EU, Asia and
+//! Oceania (§6.2.1).  The latency numbers here are typical one-way
+//! propagation latencies between those regions over the public Internet and
+//! are used as the central values around which the path generators add
+//! per-path variation.
+
+/// A coarse geographic region hosting senders, receivers or data centers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// US East Coast.
+    UsEast,
+    /// US West Coast.
+    UsWest,
+    /// Western / Northern Europe.
+    Europe,
+    /// East / South-East Asia.
+    Asia,
+    /// Oceania (Australia / New Zealand).
+    Oceania,
+}
+
+impl Region {
+    /// All regions used in the deployment.
+    pub const ALL: [Region; 5] = [
+        Region::UsEast,
+        Region::UsWest,
+        Region::Europe,
+        Region::Asia,
+        Region::Oceania,
+    ];
+
+    /// Short label used in reports (matches the paper's US/EU/Asia/OC names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Region::UsEast => "US-E",
+            Region::UsWest => "US-W",
+            Region::Europe => "EU",
+            Region::Asia => "Asia",
+            Region::Oceania => "OC",
+        }
+    }
+}
+
+/// An ordered pair of regions (sender region, receiver region).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RegionPair {
+    /// Region of the sending end host.
+    pub from: Region,
+    /// Region of the receiving end host.
+    pub to: Region,
+}
+
+impl RegionPair {
+    /// Creates a pair.
+    pub fn new(from: Region, to: Region) -> Self {
+        RegionPair { from, to }
+    }
+
+    /// Label such as `US-E->EU` used to group results (Figure 8(d) groups
+    /// recovery times by region pair).
+    pub fn label(&self) -> String {
+        format!("{}->{}", self.from.label(), self.to.label())
+    }
+
+    /// Typical one-way latency of the direct Internet path between the two
+    /// regions, in milliseconds.
+    pub fn base_one_way_ms(&self) -> f64 {
+        inter_region_one_way_ms(self.from, self.to)
+    }
+}
+
+/// Typical one-way latency between two regions over the public Internet, in
+/// milliseconds.  Within a region the latency is dominated by the metro/access
+/// segment.
+pub fn inter_region_one_way_ms(a: Region, b: Region) -> f64 {
+    use Region::*;
+    if a == b {
+        return 12.0;
+    }
+    // Symmetric table of one-way latencies (≈ half the typical RTTs reported
+    // in wide-area measurement studies; US-EU RTT 110–130 ms in §6.2.2).
+    let pair = |x: Region, y: Region| (x, y);
+    let (a, b) = if (a as u8) <= (b as u8) { (a, b) } else { (b, a) };
+    match pair(a, b) {
+        (UsEast, UsWest) => 35.0,
+        (UsEast, Europe) => 60.0,
+        (UsEast, Asia) => 100.0,
+        (UsEast, Oceania) => 105.0,
+        (UsWest, Europe) => 75.0,
+        (UsWest, Asia) => 65.0,
+        (UsWest, Oceania) => 75.0,
+        (Europe, Asia) => 90.0,
+        (Europe, Oceania) => 140.0,
+        (Asia, Oceania) => 60.0,
+        _ => 12.0,
+    }
+}
+
+/// Typical one-way latency of the *cloud overlay* between the DCs of two
+/// regions.  Inter-DC paths ride private WANs and direct peering, so they are
+/// comparable to (or slightly better than) the public path (§2, §6.1).
+pub fn inter_dc_one_way_ms(a: Region, b: Region) -> f64 {
+    (inter_region_one_way_ms(a, b) * 0.95).max(5.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_table_is_symmetric() {
+        for &a in &Region::ALL {
+            for &b in &Region::ALL {
+                assert_eq!(
+                    inter_region_one_way_ms(a, b),
+                    inter_region_one_way_ms(b, a),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn us_eu_rtt_matches_paper_range() {
+        // The paper reports 110–130 ms RTT between US and EU nodes.
+        let rtt = 2.0 * inter_region_one_way_ms(Region::UsEast, Region::Europe);
+        assert!((110.0..=130.0).contains(&rtt), "rtt {rtt}");
+    }
+
+    #[test]
+    fn cloud_paths_are_no_slower_than_internet() {
+        for &a in &Region::ALL {
+            for &b in &Region::ALL {
+                assert!(inter_dc_one_way_ms(a, b) <= inter_region_one_way_ms(a, b).max(5.0));
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<&str> = Region::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), Region::ALL.len());
+        assert_eq!(RegionPair::new(Region::UsEast, Region::Europe).label(), "US-E->EU");
+    }
+}

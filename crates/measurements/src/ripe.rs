@@ -1,0 +1,204 @@
+//! RIPE-Atlas-style path latency samples (§6.1, Figure 7(a–c)).
+//!
+//! The feasibility study measures 6250 paths with PlanetLab senders on the US
+//! East Coast and RIPE Atlas receivers in Europe, plus a 2-DC Amazon overlay
+//! on the same routes.  This module generates per-path samples of the
+//! quantities the study derives from those pings:
+//!
+//! * `y`  — one-way latency of the direct Internet path (heavy tailed; the
+//!   paper's Figure 7(a) shows a long tail of persistently bad paths),
+//! * `δ_s`, `δ_r` — end-host ↔ nearest-DC latencies; for European receivers
+//!   55 % of paths have δ below 10 ms and ~15 % above 20 ms (Figure 7(c)),
+//! * `x` — inter-DC latency of the cloud overlay, comparable to the direct
+//!   path,
+//! * `δ_median` — median receiver↔DC latency across the cooperating
+//!   receivers, used in the coding-service delay formula.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use netsim::rng::{component_rng, sample_lognormal, sample_pareto};
+
+use crate::regions::{inter_dc_one_way_ms, inter_region_one_way_ms, Region};
+
+/// One path's latency characterisation, all values in milliseconds (one-way).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathSample {
+    /// Direct Internet path latency (`y`).
+    pub y_ms: f64,
+    /// Sender ↔ DC1 latency (`δ_s`).
+    pub delta_s_ms: f64,
+    /// Inter-DC latency (`x`).
+    pub x_ms: f64,
+    /// Receiver ↔ DC2 latency (`δ_r`).
+    pub delta_r_ms: f64,
+    /// Median receiver ↔ DC2 latency of the cooperating receiver set.
+    pub delta_median_ms: f64,
+}
+
+impl PathSample {
+    /// Direct-path RTT.
+    pub fn rtt_ms(&self) -> f64 {
+        2.0 * self.y_ms
+    }
+
+    /// The Δ wait of §6.1: extra time a pull has to wait for the cloud copy
+    /// to arrive at DC2, when the cloud segment is slower than the direct
+    /// route to DC2.
+    pub fn cloud_copy_wait_ms(&self) -> f64 {
+        ((self.delta_s_ms + self.x_ms) - (self.y_ms + self.delta_r_ms)).max(0.0)
+    }
+
+    /// End-to-end delivery latency via the forwarding service.
+    pub fn forwarding_ms(&self) -> f64 {
+        self.delta_s_ms + self.x_ms + self.delta_r_ms
+    }
+
+    /// Delivery latency of a packet recovered through the caching service.
+    pub fn caching_ms(&self) -> f64 {
+        self.y_ms + 2.0 * self.delta_r_ms + self.cloud_copy_wait_ms()
+    }
+
+    /// Delivery latency of a packet recovered through the coding service.
+    pub fn coding_ms(&self) -> f64 {
+        self.y_ms + 2.0 * self.delta_r_ms + 2.0 * self.delta_median_ms + self.cloud_copy_wait_ms()
+    }
+
+    /// Recovery delay (on top of the direct-path delivery attempt) as a
+    /// fraction of the RTT, for the caching service.
+    pub fn caching_recovery_fraction(&self) -> f64 {
+        (2.0 * self.delta_r_ms + self.cloud_copy_wait_ms()) / self.rtt_ms()
+    }
+
+    /// Recovery delay as a fraction of the RTT for the coding service.
+    pub fn coding_recovery_fraction(&self) -> f64 {
+        (2.0 * self.delta_r_ms + 2.0 * self.delta_median_ms + self.cloud_copy_wait_ms()) / self.rtt_ms()
+    }
+}
+
+/// Samples the end-host ↔ nearest-DC latency (δ) for a European receiver.
+///
+/// Calibrated to Figure 7(c): roughly 55 % of receivers see δ < 10 ms and
+/// ~15 % see δ > 20 ms, with a modest tail out to ~50 ms.
+pub fn sample_delta_ms(rng: &mut SmallRng) -> f64 {
+    let u: f64 = rng.gen();
+    if u < 0.55 {
+        // Well-connected hosts: 2–10 ms.
+        2.0 + rng.gen::<f64>() * 8.0
+    } else if u < 0.85 {
+        // Mid-range hosts: 10–20 ms.
+        10.0 + rng.gen::<f64>() * 10.0
+    } else {
+        // The 15 % tail: 20–50 ms, lognormally spread.
+        (20.0 + sample_lognormal(rng, 1.3, 0.7)).min(55.0)
+    }
+}
+
+/// Generates `n` path samples for the paper's canonical US-East → Europe
+/// scenario.
+pub fn ripe_atlas_paths(n: usize, seed: u64) -> Vec<PathSample> {
+    ripe_atlas_paths_between(Region::UsEast, Region::Europe, n, seed)
+}
+
+/// Generates `n` path samples between arbitrary regions.
+pub fn ripe_atlas_paths_between(from: Region, to: Region, n: usize, seed: u64) -> Vec<PathSample> {
+    let mut rng = component_rng(seed, 0xA71A5);
+    let base_y = inter_region_one_way_ms(from, to);
+    let base_x = inter_dc_one_way_ms(from, to);
+    (0..n)
+        .map(|_| {
+            // Direct Internet path: base propagation plus a Pareto-tailed
+            // excess that creates the long tail of Figure 7(a).
+            let excess = sample_pareto(&mut rng, 3.0, 1.6) - 3.0;
+            let y_ms = base_y + rng.gen::<f64>() * 10.0 + excess;
+            // Inter-DC path: well provisioned, small spread, no heavy tail.
+            let x_ms = base_x + rng.gen::<f64>() * 6.0;
+            let delta_s_ms = sample_delta_ms(&mut rng);
+            let delta_r_ms = sample_delta_ms(&mut rng);
+            // The cooperating receivers cluster around the same DC; their
+            // median access latency resembles an independent draw.
+            let delta_median_ms = sample_delta_ms(&mut rng);
+            PathSample {
+                y_ms,
+                delta_s_ms,
+                x_ms,
+                delta_r_ms,
+                delta_median_ms,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::stats::Cdf;
+
+    fn dataset() -> Vec<PathSample> {
+        ripe_atlas_paths(6250, 42)
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(ripe_atlas_paths(100, 7), ripe_atlas_paths(100, 7));
+        assert_ne!(ripe_atlas_paths(100, 7), ripe_atlas_paths(100, 8));
+    }
+
+    #[test]
+    fn delta_distribution_matches_figure_7c() {
+        let paths = dataset();
+        let mut cdf = Cdf::from_samples(paths.iter().map(|p| p.delta_r_ms).collect());
+        let below_10 = cdf.fraction_leq(10.0);
+        let above_20 = 1.0 - cdf.fraction_leq(20.0);
+        assert!((0.50..=0.60).contains(&below_10), "P(δ<10ms) = {below_10}");
+        assert!((0.10..=0.20).contains(&above_20), "P(δ>20ms) = {above_20}");
+    }
+
+    #[test]
+    fn internet_path_has_a_longer_tail_than_forwarding() {
+        // Figure 7(a): the forwarding service's latency tail is shorter than
+        // the direct Internet's.
+        let paths = dataset();
+        let mut internet = Cdf::from_samples(paths.iter().map(|p| p.y_ms).collect());
+        let mut fwd = Cdf::from_samples(paths.iter().map(|p| p.forwarding_ms()).collect());
+        let p999_internet = internet.quantile(0.999).unwrap();
+        let p999_fwd = fwd.quantile(0.999).unwrap();
+        assert!(
+            p999_internet > p999_fwd,
+            "internet p99.9 {p999_internet} vs forwarding {p999_fwd}"
+        );
+    }
+
+    #[test]
+    fn most_paths_meet_the_150ms_interactive_budget_with_coding() {
+        // §6.1: "for 95% of the paths, end-to-end packet delivery using
+        // coding and caching takes up to 150 ms".
+        let paths = dataset();
+        let mut coding = Cdf::from_samples(paths.iter().map(|p| p.coding_ms()).collect());
+        let p95 = coding.quantile(0.95).unwrap();
+        assert!(p95 <= 165.0, "coding p95 = {p95} ms");
+        let mut caching = Cdf::from_samples(paths.iter().map(|p| p.caching_ms()).collect());
+        assert!(caching.quantile(0.95).unwrap() <= 150.0);
+    }
+
+    #[test]
+    fn recovery_fractions_stay_below_half_rtt_for_most_paths() {
+        // Figure 7(b): 95 % of recoveries finish within 0.5 × RTT.
+        let paths = dataset();
+        let mut caching = Cdf::from_samples(paths.iter().map(|p| p.caching_recovery_fraction()).collect());
+        let mut coding = Cdf::from_samples(paths.iter().map(|p| p.coding_recovery_fraction()).collect());
+        assert!(caching.quantile(0.95).unwrap() <= 0.5);
+        assert!(coding.quantile(0.95).unwrap() <= 0.75);
+        // Caching recovers faster than coding at the median.
+        assert!(caching.median().unwrap() < coding.median().unwrap());
+    }
+
+    #[test]
+    fn forwarding_latency_is_comparable_to_internet_at_the_median() {
+        let paths = dataset();
+        let mut internet = Cdf::from_samples(paths.iter().map(|p| p.y_ms).collect());
+        let mut fwd = Cdf::from_samples(paths.iter().map(|p| p.forwarding_ms()).collect());
+        let ratio = fwd.median().unwrap() / internet.median().unwrap();
+        assert!((0.8..=1.6).contains(&ratio), "median ratio {ratio}");
+    }
+}

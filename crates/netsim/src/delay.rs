@@ -1,0 +1,231 @@
+//! Link delay models.
+//!
+//! Latency on a simulated link is the sum of a propagation component (drawn
+//! from one of these models) and, optionally, a serialization component
+//! computed from the link bandwidth (see [`crate::link`]).  The paper's cloud
+//! overlay paths are characterised by low jitter, whereas public Internet
+//! paths show higher jitter and a heavy latency tail — the [`DelaySpec`]
+//! variants cover both.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::rng::{sample_normal, sample_pareto};
+use crate::time::Dur;
+
+/// A stateless (but possibly random) per-packet propagation delay.
+pub trait DelayModel: Send {
+    /// Samples the one-way propagation delay for the next packet.
+    fn sample(&mut self, rng: &mut SmallRng) -> Dur;
+
+    /// The nominal (central) delay of this model, used by latency budgeting
+    /// code that needs a deterministic estimate (e.g. the J-QoS service
+    /// selection of §3.5).
+    fn nominal(&self) -> Dur;
+}
+
+/// Declarative description of a delay model.
+#[derive(Clone, Debug)]
+pub enum DelaySpec {
+    /// Fixed one-way delay.
+    Constant(Dur),
+    /// Base delay plus uniform jitter in `[0, jitter]`.
+    UniformJitter {
+        /// Minimum (base) one-way delay.
+        base: Dur,
+        /// Maximum additional jitter.
+        jitter: Dur,
+    },
+    /// Normally distributed delay, truncated below at `min`.
+    Normal {
+        /// Mean one-way delay.
+        mean: Dur,
+        /// Standard deviation.
+        std_dev: Dur,
+        /// Hard lower bound (propagation floor).
+        min: Dur,
+    },
+    /// Base delay plus a Pareto-distributed tail component; reproduces the
+    /// heavy tail of public Internet paths in Figure 7(a).
+    HeavyTail {
+        /// Base (best-case) delay.
+        base: Dur,
+        /// Scale of the Pareto tail (typical extra delay).
+        scale: Dur,
+        /// Pareto shape parameter; smaller values give heavier tails.
+        shape: f64,
+    },
+}
+
+impl DelaySpec {
+    /// Instantiates the model described by this spec.
+    pub fn build(&self) -> Box<dyn DelayModel> {
+        match self {
+            DelaySpec::Constant(d) => Box::new(Constant(*d)),
+            DelaySpec::UniformJitter { base, jitter } => Box::new(UniformJitter {
+                base: *base,
+                jitter: *jitter,
+            }),
+            DelaySpec::Normal { mean, std_dev, min } => Box::new(NormalDelay {
+                mean: *mean,
+                std_dev: *std_dev,
+                min: *min,
+            }),
+            DelaySpec::HeavyTail { base, scale, shape } => Box::new(HeavyTail {
+                base: *base,
+                scale: *scale,
+                shape: *shape,
+            }),
+        }
+    }
+
+    /// The nominal delay of the model (without building it).
+    pub fn nominal(&self) -> Dur {
+        match self {
+            DelaySpec::Constant(d) => *d,
+            DelaySpec::UniformJitter { base, jitter } => *base + *jitter / 2,
+            DelaySpec::Normal { mean, .. } => *mean,
+            DelaySpec::HeavyTail { base, scale, .. } => *base + *scale,
+        }
+    }
+}
+
+/// Fixed delay.
+#[derive(Debug, Clone, Copy)]
+pub struct Constant(pub Dur);
+
+impl DelayModel for Constant {
+    fn sample(&mut self, _rng: &mut SmallRng) -> Dur {
+        self.0
+    }
+    fn nominal(&self) -> Dur {
+        self.0
+    }
+}
+
+/// Base delay plus uniform jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformJitter {
+    /// Minimum delay.
+    pub base: Dur,
+    /// Maximum added jitter.
+    pub jitter: Dur,
+}
+
+impl DelayModel for UniformJitter {
+    fn sample(&mut self, rng: &mut SmallRng) -> Dur {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        self.base + Dur::from_micros(rng.gen_range(0..=self.jitter.as_micros()))
+    }
+    fn nominal(&self) -> Dur {
+        self.base + self.jitter / 2
+    }
+}
+
+/// Truncated normal delay.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalDelay {
+    /// Mean delay.
+    pub mean: Dur,
+    /// Standard deviation.
+    pub std_dev: Dur,
+    /// Lower bound.
+    pub min: Dur,
+}
+
+impl DelayModel for NormalDelay {
+    fn sample(&mut self, rng: &mut SmallRng) -> Dur {
+        let sampled = sample_normal(rng, self.mean.as_micros() as f64, self.std_dev.as_micros() as f64);
+        let us = sampled.max(self.min.as_micros() as f64).round() as u64;
+        Dur::from_micros(us)
+    }
+    fn nominal(&self) -> Dur {
+        self.mean
+    }
+}
+
+/// Base delay plus Pareto-distributed excess.
+#[derive(Debug, Clone, Copy)]
+pub struct HeavyTail {
+    /// Base delay.
+    pub base: Dur,
+    /// Pareto scale.
+    pub scale: Dur,
+    /// Pareto shape.
+    pub shape: f64,
+}
+
+impl DelayModel for HeavyTail {
+    fn sample(&mut self, rng: &mut SmallRng) -> Dur {
+        let extra = sample_pareto(rng, self.scale.as_micros() as f64, self.shape.max(0.5));
+        self.base + Dur::from_micros(extra.round() as u64)
+    }
+    fn nominal(&self) -> Dur {
+        self.base + self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::component_rng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut m = DelaySpec::Constant(Dur::from_millis(30)).build();
+        let mut rng = component_rng(1, 0);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), Dur::from_millis(30));
+        }
+        assert_eq!(m.nominal(), Dur::from_millis(30));
+    }
+
+    #[test]
+    fn uniform_jitter_stays_in_range() {
+        let spec = DelaySpec::UniformJitter {
+            base: Dur::from_millis(20),
+            jitter: Dur::from_millis(10),
+        };
+        let mut m = spec.build();
+        let mut rng = component_rng(2, 0);
+        for _ in 0..10_000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= Dur::from_millis(20) && d <= Dur::from_millis(30), "{d:?}");
+        }
+        assert_eq!(spec.nominal(), Dur::from_millis(25));
+    }
+
+    #[test]
+    fn normal_respects_floor_and_mean() {
+        let spec = DelaySpec::Normal {
+            mean: Dur::from_millis(50),
+            std_dev: Dur::from_millis(5),
+            min: Dur::from_millis(40),
+        };
+        let mut m = spec.build();
+        let mut rng = component_rng(3, 0);
+        let samples: Vec<f64> = (0..20_000).map(|_| m.sample(&mut rng).as_millis_f64()).collect();
+        assert!(samples.iter().all(|&d| d >= 40.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn heavy_tail_has_outliers_above_p99_of_base() {
+        let spec = DelaySpec::HeavyTail {
+            base: Dur::from_millis(40),
+            scale: Dur::from_millis(5),
+            shape: 1.5,
+        };
+        let mut m = spec.build();
+        let mut rng = component_rng(4, 0);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| m.sample(&mut rng).as_millis_f64()).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let p999 = samples[(samples.len() as f64 * 0.999) as usize];
+        assert!(p999 > 2.0 * median, "median {median}, p99.9 {p999}");
+        assert!(samples.iter().all(|&d| d >= 45.0));
+    }
+}

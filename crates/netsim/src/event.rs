@@ -1,0 +1,101 @@
+//! The simulator's internal event representation.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is a
+//! monotonically increasing tie-breaker, giving a deterministic total order
+//! even when many events share a timestamp.
+
+use std::cmp::Ordering;
+
+use crate::node::{NodeId, TimerId};
+use crate::time::Time;
+
+/// What happens when an event is popped from the queue.
+pub enum EventKind<M> {
+    /// Deliver a message to a node.
+    Deliver {
+        /// Destination node.
+        to: NodeId,
+        /// Originating node.
+        from: NodeId,
+        /// The message payload.
+        msg: M,
+    },
+    /// Fire a timer on a node.
+    Timer {
+        /// Owner of the timer.
+        node: NodeId,
+        /// Identifier returned by `set_timer`.
+        timer: TimerId,
+        /// User-chosen tag.
+        tag: u64,
+    },
+}
+
+/// A scheduled event.
+pub struct Event<M> {
+    /// When the event fires.
+    pub at: Time,
+    /// Tie-breaking sequence number (FIFO for equal timestamps).
+    pub seq: u64,
+    /// The action to perform.
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) pops the earliest event first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(at_ms: u64, seq: u64) -> Event<()> {
+        Event {
+            at: Time::from_millis(at_ms),
+            seq,
+            kind: EventKind::Timer {
+                node: NodeId(0),
+                timer: TimerId(seq),
+                tag: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(30, 1));
+        heap.push(ev(10, 2));
+        heap.push(ev(20, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|e| e.at.as_micros()).collect();
+        assert_eq!(order, vec![10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn ties_break_by_sequence_number() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(10, 5));
+        heap.push(ev(10, 2));
+        heap.push(ev(10, 9));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![2, 5, 9]);
+    }
+}

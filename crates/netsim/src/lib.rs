@@ -1,0 +1,82 @@
+//! # netsim — a deterministic discrete-event network simulator
+//!
+//! This crate is the substrate on which the J-QoS reproduction runs its
+//! wide-area experiments.  The original paper deployed its prototype on
+//! PlanetLab nodes and Microsoft Azure data centers; this simulator stands in
+//! for that testbed.  It provides:
+//!
+//! * a virtual clock with microsecond resolution ([`Time`], [`Dur`]),
+//! * a deterministic event queue ([`sim::Simulator`]),
+//! * point-to-point [`link::Link`]s with configurable delay
+//!   ([`delay::DelayModel`]) and loss ([`loss::LossModel`]) models —
+//!   including the Gilbert–Elliott bursty-loss and outage models needed to
+//!   reproduce the loss-episode structure reported in §6.2 of the paper,
+//! * a [`node::Node`] trait for protocol entities (senders, receivers, data
+//!   centers), and
+//! * statistics helpers ([`stats`]) for building the CDF/CCDF curves that the
+//!   paper's figures report.
+//!
+//! The simulator is fully deterministic for a given seed: all randomness is
+//! drawn from per-component `SmallRng` instances seeded from a single master
+//! seed, so every figure in `EXPERIMENTS.md` can be regenerated bit-for-bit.
+//!
+//! ```
+//! use netsim::prelude::*;
+//!
+//! // Two nodes connected by a 10 ms link with 1% random loss.
+//! #[derive(Clone, Debug)]
+//! enum Msg { Ping(u64), Pong(u64) }
+//!
+//! struct Pinger { peer: NodeId, received: u64 }
+//! impl Node<Msg> for Pinger {
+//!     fn on_start(&mut self, ctx: &mut Context<Msg>) {
+//!         ctx.send(self.peer, Msg::Ping(0));
+//!     }
+//!     fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+//!         match msg {
+//!             Msg::Ping(n) => ctx.send(self.peer, Msg::Pong(n)),
+//!             Msg::Pong(_) => self.received += 1,
+//!         }
+//!     }
+//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! let mut sim = Simulator::new(7);
+//! let a = sim.add_node(Pinger { peer: NodeId(1), received: 0 });
+//! let b = sim.add_node(Pinger { peer: NodeId(0), received: 0 });
+//! sim.add_link(a, b, LinkSpec::symmetric(Dur::from_millis(10)).loss(LossSpec::Bernoulli(0.01)));
+//! sim.run_for(Dur::from_secs(1));
+//! ```
+
+pub mod delay;
+pub mod event;
+pub mod link;
+pub mod loss;
+pub mod node;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use delay::{DelayModel, DelaySpec};
+pub use link::{Link, LinkSpec, LinkStats};
+pub use loss::{LossModel, LossSpec};
+pub use node::{Context, Node, NodeId, TimerId};
+pub use sim::{SimStats, Simulator};
+pub use stats::{Cdf, Summary};
+pub use time::{Dur, Time};
+pub use topology::Topology;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::delay::{DelayModel, DelaySpec};
+    pub use crate::link::{LinkSpec, LinkStats};
+    pub use crate::loss::{LossModel, LossSpec};
+    pub use crate::node::{Context, Node, NodeId, TimerId};
+    pub use crate::sim::Simulator;
+    pub use crate::stats::{Cdf, Summary};
+    pub use crate::time::{Dur, Time};
+    pub use crate::topology::Topology;
+}

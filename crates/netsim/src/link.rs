@@ -1,0 +1,274 @@
+//! Point-to-point links between nodes.
+//!
+//! A [`Link`] is unidirectional and combines a delay model, a loss model, an
+//! optional bandwidth cap (which adds serialization delay and models an
+//! access-link bottleneck such as the cellular uplink of §6.5), and an
+//! optional drop-tail queue bound.  Per-link statistics feed the experiment
+//! harnesses.
+
+use rand::rngs::SmallRng;
+
+use crate::delay::{DelayModel, DelaySpec};
+use crate::loss::{LossModel, LossSpec};
+use crate::time::{Dur, Time};
+
+/// Declarative description of a link, used when wiring a topology.
+#[derive(Clone, Debug)]
+pub struct LinkSpec {
+    /// Propagation-delay model.
+    pub delay: DelaySpec,
+    /// Loss model.
+    pub loss: LossSpec,
+    /// Bandwidth in bits per second; `None` means unconstrained.
+    pub bandwidth_bps: Option<u64>,
+    /// Maximum number of packets queued behind the bandwidth cap before
+    /// drop-tail kicks in; ignored if `bandwidth_bps` is `None`.
+    pub queue_packets: usize,
+}
+
+impl LinkSpec {
+    /// A link with constant one-way delay, no loss and no bandwidth cap.
+    pub fn symmetric(delay: Dur) -> Self {
+        LinkSpec {
+            delay: DelaySpec::Constant(delay),
+            loss: LossSpec::None,
+            bandwidth_bps: None,
+            queue_packets: 1_000,
+        }
+    }
+
+    /// A link with an explicit delay model.
+    pub fn with_delay(delay: DelaySpec) -> Self {
+        LinkSpec {
+            delay,
+            loss: LossSpec::None,
+            bandwidth_bps: None,
+            queue_packets: 1_000,
+        }
+    }
+
+    /// Sets the loss model.
+    pub fn loss(mut self, loss: LossSpec) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the delay model.
+    pub fn delay(mut self, delay: DelaySpec) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Caps the link at `bps` bits per second with the given queue bound.
+    pub fn bandwidth(mut self, bps: u64, queue_packets: usize) -> Self {
+        self.bandwidth_bps = Some(bps);
+        self.queue_packets = queue_packets;
+        self
+    }
+
+    /// Nominal one-way latency (used for latency budgeting).
+    pub fn nominal_latency(&self) -> Dur {
+        self.delay.nominal()
+    }
+
+    /// Instantiates the stateful link.
+    pub fn build(&self) -> Link {
+        Link {
+            delay: self.delay.build(),
+            loss: self.loss.build(),
+            nominal: self.delay.nominal(),
+            bandwidth_bps: self.bandwidth_bps,
+            queue_packets: self.queue_packets,
+            busy_until: Time::ZERO,
+            stats: LinkStats::default(),
+        }
+    }
+}
+
+/// Counters kept per link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets handed to the link.
+    pub offered: u64,
+    /// Packets delivered to the destination node.
+    pub delivered: u64,
+    /// Packets dropped by the loss model.
+    pub dropped_loss: u64,
+    /// Packets dropped because the bandwidth queue overflowed.
+    pub dropped_queue: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl LinkStats {
+    /// Observed loss rate (all causes) among offered packets.
+    pub fn loss_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            1.0 - self.delivered as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// Deliver after the returned one-way latency.
+    Deliver(Dur),
+    /// The packet was dropped by the loss model.
+    DroppedLoss,
+    /// The packet was dropped because the queue behind the bandwidth cap is
+    /// full.
+    DroppedQueue,
+}
+
+/// A unidirectional link instance.
+pub struct Link {
+    delay: Box<dyn DelayModel>,
+    loss: Box<dyn LossModel>,
+    nominal: Dur,
+    bandwidth_bps: Option<u64>,
+    queue_packets: usize,
+    busy_until: Time,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Offers a packet of `size_bytes` to the link at time `now` and decides
+    /// its fate.
+    pub fn offer(&mut self, now: Time, size_bytes: usize, rng: &mut SmallRng) -> LinkOutcome {
+        self.stats.offered += 1;
+
+        if self.loss.should_drop(now, rng) {
+            self.stats.dropped_loss += 1;
+            return LinkOutcome::DroppedLoss;
+        }
+
+        let mut latency = self.delay.sample(rng);
+
+        if let Some(bps) = self.bandwidth_bps {
+            // Serialization delay plus queueing behind previously accepted
+            // packets (a simple fluid drop-tail queue).
+            let tx_us = if size_bytes == 0 {
+                0
+            } else {
+                (size_bytes as u64 * 8).saturating_mul(1_000_000) / bps.max(1)
+            };
+            let tx = Dur::from_micros(tx_us);
+            let backlog = self.busy_until.saturating_since(now);
+            if !tx.is_zero() {
+                let queued_packets = if tx.as_micros() == 0 {
+                    0
+                } else {
+                    (backlog.as_micros() / tx.as_micros().max(1)) as usize
+                };
+                if queued_packets >= self.queue_packets {
+                    self.stats.dropped_queue += 1;
+                    return LinkOutcome::DroppedQueue;
+                }
+            }
+            let start = now.max(self.busy_until);
+            self.busy_until = start + tx;
+            latency = latency + (self.busy_until - now);
+        }
+
+        self.stats.delivered += 1;
+        self.stats.bytes_delivered += size_bytes as u64;
+        LinkOutcome::Deliver(latency)
+    }
+
+    /// Nominal one-way latency of the link.
+    pub fn nominal_latency(&self) -> Dur {
+        self.nominal
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::component_rng;
+
+    #[test]
+    fn lossless_link_delivers_with_constant_latency() {
+        let mut link = LinkSpec::symmetric(Dur::from_millis(25)).build();
+        let mut rng = component_rng(1, 0);
+        for i in 0..100 {
+            match link.offer(Time::from_millis(i), 100, &mut rng) {
+                LinkOutcome::Deliver(d) => assert_eq!(d, Dur::from_millis(25)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(link.stats().delivered, 100);
+        assert_eq!(link.stats().loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn full_loss_link_drops_everything() {
+        let mut link = LinkSpec::symmetric(Dur::from_millis(5))
+            .loss(LossSpec::Bernoulli(1.0))
+            .build();
+        let mut rng = component_rng(2, 0);
+        for i in 0..50 {
+            assert_eq!(link.offer(Time::from_millis(i), 100, &mut rng), LinkOutcome::DroppedLoss);
+        }
+        assert_eq!(link.stats().dropped_loss, 50);
+        assert_eq!(link.stats().loss_rate(), 1.0);
+    }
+
+    #[test]
+    fn bandwidth_cap_adds_serialization_delay() {
+        // 8 Mbps link, 1000-byte packets => 1 ms serialization each.
+        let mut link = LinkSpec::symmetric(Dur::from_millis(10))
+            .bandwidth(8_000_000, 100)
+            .build();
+        let mut rng = component_rng(3, 0);
+        // Two back-to-back packets at t=0: second waits behind the first.
+        let d1 = match link.offer(Time::ZERO, 1_000, &mut rng) {
+            LinkOutcome::Deliver(d) => d,
+            o => panic!("{o:?}"),
+        };
+        let d2 = match link.offer(Time::ZERO, 1_000, &mut rng) {
+            LinkOutcome::Deliver(d) => d,
+            o => panic!("{o:?}"),
+        };
+        assert_eq!(d1, Dur::from_millis(11));
+        assert_eq!(d2, Dur::from_millis(12));
+    }
+
+    #[test]
+    fn queue_overflow_drops_packets() {
+        // Very slow link (8 kbps): 1000-byte packet takes 1 s to serialize.
+        let mut link = LinkSpec::symmetric(Dur::from_millis(1))
+            .bandwidth(8_000, 2)
+            .build();
+        let mut rng = component_rng(4, 0);
+        let mut dropped = 0;
+        for _ in 0..10 {
+            if link.offer(Time::ZERO, 1_000, &mut rng) == LinkOutcome::DroppedQueue {
+                dropped += 1;
+            }
+        }
+        assert!(dropped >= 7, "expected most packets to overflow, dropped {dropped}");
+        assert_eq!(link.stats().dropped_queue, dropped);
+    }
+
+    #[test]
+    fn zero_size_packets_ignore_bandwidth() {
+        let mut link = LinkSpec::symmetric(Dur::from_millis(3))
+            .bandwidth(1_000, 1)
+            .build();
+        let mut rng = component_rng(5, 0);
+        for _ in 0..20 {
+            match link.offer(Time::ZERO, 0, &mut rng) {
+                LinkOutcome::Deliver(d) => assert_eq!(d, Dur::from_millis(3)),
+                o => panic!("{o:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Packet-loss models.
+//!
+//! The paper's evaluation (§6.2) classifies loss episodes on PlanetLab paths
+//! into three kinds: *random* single-packet losses, *multi-packet* bursts
+//! (2–14 packets) and *outages* (>14 packets, typically 1–3 seconds).  The
+//! models in this module let experiments reproduce each of these regimes:
+//!
+//! * [`LossSpec::Bernoulli`] — independent random loss,
+//! * [`LossSpec::GilbertElliott`] — the classic two-state bursty-loss model,
+//! * [`LossSpec::Outage`] / [`LossSpec::PeriodicOutage`] — scheduled complete
+//!   outages of an Internet path,
+//! * [`LossSpec::GoogleBurst`] — the loss model from the Google web-latency
+//!   study used by the paper's TCP case study (§6.4): the first packet of a
+//!   burst is lost with probability 0.01 and each subsequent packet with
+//!   probability 0.5,
+//! * [`LossSpec::Compound`] — union of several models (a packet is dropped if
+//!   any component drops it), used to layer outages on top of background
+//!   random loss.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::time::{Dur, Time};
+
+/// A stateful decision procedure for dropping packets on a link.
+pub trait LossModel: Send {
+    /// Returns `true` if the packet crossing the link at `now` should be
+    /// dropped.  Models may keep internal state (burst position, outage
+    /// schedule, …), so the call order matters and the simulator invokes this
+    /// exactly once per packet.
+    fn should_drop(&mut self, now: Time, rng: &mut SmallRng) -> bool;
+}
+
+/// Declarative description of a loss model; converted into a boxed
+/// [`LossModel`] when a link is instantiated.
+#[derive(Clone, Debug)]
+pub enum LossSpec {
+    /// No loss at all (the default for intra-cloud links).
+    None,
+    /// Independent loss with the given probability.
+    Bernoulli(f64),
+    /// Two-state Gilbert–Elliott model.
+    GilbertElliott {
+        /// Probability of moving from the good to the bad state per packet.
+        p_good_to_bad: f64,
+        /// Probability of moving from the bad to the good state per packet.
+        p_bad_to_good: f64,
+        /// Loss probability while in the good state.
+        loss_good: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+    },
+    /// Complete outage during each listed `[start, end)` interval.
+    Outage(Vec<(Time, Time)>),
+    /// A repeating outage: every `period`, the path goes dark for `duration`.
+    PeriodicOutage {
+        /// Time of the first outage.
+        first: Time,
+        /// Interval between outage starts.
+        period: Dur,
+        /// Length of each outage.
+        duration: Dur,
+    },
+    /// Google web-study burst model: p(first loss) = `p_first`, p(each
+    /// subsequent packet also lost) = `p_next`.
+    GoogleBurst {
+        /// Probability the first packet of a potential burst is lost.
+        p_first: f64,
+        /// Probability each subsequent packet continues the burst.
+        p_next: f64,
+    },
+    /// Drop if *any* of the component models drops.
+    Compound(Vec<LossSpec>),
+}
+
+impl LossSpec {
+    /// Instantiates the stateful model described by this spec.
+    pub fn build(&self) -> Box<dyn LossModel> {
+        match self {
+            LossSpec::None => Box::new(NoLoss),
+            LossSpec::Bernoulli(p) => Box::new(Bernoulli::new(*p)),
+            LossSpec::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => Box::new(GilbertElliott::new(*p_good_to_bad, *p_bad_to_good, *loss_good, *loss_bad)),
+            LossSpec::Outage(intervals) => Box::new(OutageSchedule::new(intervals.clone())),
+            LossSpec::PeriodicOutage { first, period, duration } => {
+                Box::new(PeriodicOutage::new(*first, *period, *duration))
+            }
+            LossSpec::GoogleBurst { p_first, p_next } => Box::new(GoogleBurst::new(*p_first, *p_next)),
+            LossSpec::Compound(specs) => {
+                Box::new(Compound::new(specs.iter().map(|s| s.build()).collect()))
+            }
+        }
+    }
+
+    /// Convenience constructor for the Gilbert–Elliott parameters that yield
+    /// an *average* loss rate and *average* burst length.
+    ///
+    /// In the bad state every packet is lost; in the good state none are.
+    /// The stationary probability of the bad state is `loss_rate`, and the
+    /// mean sojourn in the bad state is `mean_burst` packets.
+    pub fn bursty(loss_rate: f64, mean_burst: f64) -> LossSpec {
+        let mean_burst = mean_burst.max(1.0);
+        let p_bad_to_good = 1.0 / mean_burst;
+        // stationary bad probability = p_gb / (p_gb + p_bg)  =>  solve for p_gb.
+        let loss_rate = loss_rate.clamp(0.0, 0.99);
+        let p_good_to_bad = if loss_rate <= 0.0 {
+            0.0
+        } else {
+            (loss_rate * p_bad_to_good) / (1.0 - loss_rate)
+        };
+        LossSpec::GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        }
+    }
+}
+
+/// Never drops anything.
+#[derive(Debug, Default)]
+pub struct NoLoss;
+
+impl LossModel for NoLoss {
+    fn should_drop(&mut self, _now: Time, _rng: &mut SmallRng) -> bool {
+        false
+    }
+}
+
+/// Independent (memoryless) loss.
+#[derive(Debug)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli loss model with drop probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn new(p: f64) -> Self {
+        Bernoulli { p: p.clamp(0.0, 1.0) }
+    }
+}
+
+impl LossModel for Bernoulli {
+    fn should_drop(&mut self, _now: Time, rng: &mut SmallRng) -> bool {
+        self.p > 0.0 && rng.gen::<f64>() < self.p
+    }
+}
+
+/// Two-state Gilbert–Elliott bursty-loss model.
+#[derive(Debug)]
+pub struct GilbertElliott {
+    p_good_to_bad: f64,
+    p_bad_to_good: f64,
+    loss_good: f64,
+    loss_bad: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Creates the model, starting in the good state.
+    pub fn new(p_good_to_bad: f64, p_bad_to_good: f64, loss_good: f64, loss_bad: f64) -> Self {
+        GilbertElliott {
+            p_good_to_bad: p_good_to_bad.clamp(0.0, 1.0),
+            p_bad_to_good: p_bad_to_good.clamp(0.0, 1.0),
+            loss_good: loss_good.clamp(0.0, 1.0),
+            loss_bad: loss_bad.clamp(0.0, 1.0),
+            in_bad: false,
+        }
+    }
+
+    /// Whether the chain is currently in the bad (bursty) state.
+    pub fn in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn should_drop(&mut self, _now: Time, rng: &mut SmallRng) -> bool {
+        // Transition first, then emit according to the new state, so the mean
+        // burst length matches the sojourn time of the bad state.
+        if self.in_bad {
+            if rng.gen::<f64>() < self.p_bad_to_good {
+                self.in_bad = false;
+            }
+        } else if rng.gen::<f64>() < self.p_good_to_bad {
+            self.in_bad = true;
+        }
+        let p = if self.in_bad { self.loss_bad } else { self.loss_good };
+        p > 0.0 && rng.gen::<f64>() < p
+    }
+}
+
+/// Drops every packet inside any of a list of `[start, end)` intervals.
+#[derive(Debug)]
+pub struct OutageSchedule {
+    intervals: Vec<(Time, Time)>,
+}
+
+impl OutageSchedule {
+    /// Creates a schedule; intervals are sorted by start time.
+    pub fn new(mut intervals: Vec<(Time, Time)>) -> Self {
+        intervals.sort_by_key(|(s, _)| *s);
+        OutageSchedule { intervals }
+    }
+
+    /// `true` if `now` falls inside an outage interval.
+    pub fn in_outage(&self, now: Time) -> bool {
+        self.intervals.iter().any(|(s, e)| now >= *s && now < *e)
+    }
+}
+
+impl LossModel for OutageSchedule {
+    fn should_drop(&mut self, now: Time, _rng: &mut SmallRng) -> bool {
+        self.in_outage(now)
+    }
+}
+
+/// A repeating outage pattern.
+#[derive(Debug)]
+pub struct PeriodicOutage {
+    first: Time,
+    period: Dur,
+    duration: Dur,
+}
+
+impl PeriodicOutage {
+    /// Creates the pattern; `period` must be non-zero.
+    pub fn new(first: Time, period: Dur, duration: Dur) -> Self {
+        assert!(!period.is_zero(), "periodic outage needs a non-zero period");
+        PeriodicOutage { first, period, duration }
+    }
+}
+
+impl LossModel for PeriodicOutage {
+    fn should_drop(&mut self, now: Time, _rng: &mut SmallRng) -> bool {
+        if now < self.first {
+            return false;
+        }
+        let since = now.as_micros() - self.first.as_micros();
+        (since % self.period.as_micros()) < self.duration.as_micros()
+    }
+}
+
+/// The burst-loss model from the Google study used in §6.4: the first packet
+/// of a burst is lost with probability `p_first`; while a burst is active each
+/// subsequent packet is lost with probability `p_next`.
+#[derive(Debug)]
+pub struct GoogleBurst {
+    p_first: f64,
+    p_next: f64,
+    in_burst: bool,
+}
+
+impl GoogleBurst {
+    /// Creates the model with the given burst-start and burst-continue
+    /// probabilities.
+    pub fn new(p_first: f64, p_next: f64) -> Self {
+        GoogleBurst {
+            p_first: p_first.clamp(0.0, 1.0),
+            p_next: p_next.clamp(0.0, 1.0),
+            in_burst: false,
+        }
+    }
+}
+
+impl LossModel for GoogleBurst {
+    fn should_drop(&mut self, _now: Time, rng: &mut SmallRng) -> bool {
+        if self.in_burst {
+            if rng.gen::<f64>() < self.p_next {
+                true
+            } else {
+                self.in_burst = false;
+                false
+            }
+        } else if rng.gen::<f64>() < self.p_first {
+            self.in_burst = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Union of several models: the packet is dropped if any component drops it.
+/// Every component sees every packet so their internal state stays coherent.
+pub struct Compound {
+    models: Vec<Box<dyn LossModel>>,
+}
+
+impl Compound {
+    /// Combines the given models.
+    pub fn new(models: Vec<Box<dyn LossModel>>) -> Self {
+        Compound { models }
+    }
+}
+
+impl LossModel for Compound {
+    fn should_drop(&mut self, now: Time, rng: &mut SmallRng) -> bool {
+        let mut drop = false;
+        for m in &mut self.models {
+            // Evaluate all models (no short-circuit) so stateful models advance.
+            if m.should_drop(now, rng) {
+                drop = true;
+            }
+        }
+        drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::component_rng;
+
+    fn drops(spec: &LossSpec, n: usize, seed: u64) -> Vec<bool> {
+        let mut model = spec.build();
+        let mut rng = component_rng(seed, 0);
+        (0..n)
+            .map(|i| model.should_drop(Time::from_millis(i as u64), &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn no_loss_never_drops() {
+        assert!(drops(&LossSpec::None, 1_000, 1).iter().all(|d| !d));
+    }
+
+    #[test]
+    fn bernoulli_rate_is_close_to_p() {
+        let d = drops(&LossSpec::Bernoulli(0.05), 100_000, 2);
+        let rate = d.iter().filter(|x| **x).count() as f64 / d.len() as f64;
+        assert!((rate - 0.05).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_clamps_probability() {
+        assert!(drops(&LossSpec::Bernoulli(2.0), 100, 3).iter().all(|d| *d));
+        assert!(drops(&LossSpec::Bernoulli(-1.0), 100, 3).iter().all(|d| !d));
+    }
+
+    #[test]
+    fn gilbert_elliott_matches_target_rate_and_bursts() {
+        let spec = LossSpec::bursty(0.01, 5.0);
+        let d = drops(&spec, 400_000, 4);
+        let rate = d.iter().filter(|x| **x).count() as f64 / d.len() as f64;
+        assert!((rate - 0.01).abs() < 0.004, "rate {rate}");
+
+        // Measure mean burst length of consecutive drops.
+        let mut bursts = vec![];
+        let mut cur = 0usize;
+        for &x in &d {
+            if x {
+                cur += 1;
+            } else if cur > 0 {
+                bursts.push(cur);
+                cur = 0;
+            }
+        }
+        let mean_burst = bursts.iter().sum::<usize>() as f64 / bursts.len() as f64;
+        assert!(mean_burst > 2.0, "bursts should be multi-packet, got {mean_burst}");
+    }
+
+    #[test]
+    fn outage_schedule_drops_only_inside_window() {
+        let spec = LossSpec::Outage(vec![(Time::from_millis(100), Time::from_millis(200))]);
+        let mut model = spec.build();
+        let mut rng = component_rng(5, 0);
+        assert!(!model.should_drop(Time::from_millis(99), &mut rng));
+        assert!(model.should_drop(Time::from_millis(100), &mut rng));
+        assert!(model.should_drop(Time::from_millis(199), &mut rng));
+        assert!(!model.should_drop(Time::from_millis(200), &mut rng));
+    }
+
+    #[test]
+    fn periodic_outage_repeats() {
+        let spec = LossSpec::PeriodicOutage {
+            first: Time::from_secs(10),
+            period: Dur::from_secs(60),
+            duration: Dur::from_secs(2),
+        };
+        let mut model = spec.build();
+        let mut rng = component_rng(6, 0);
+        assert!(!model.should_drop(Time::from_secs(9), &mut rng));
+        assert!(model.should_drop(Time::from_secs(10), &mut rng));
+        assert!(model.should_drop(Time::from_secs(11), &mut rng));
+        assert!(!model.should_drop(Time::from_secs(13), &mut rng));
+        assert!(model.should_drop(Time::from_secs(70), &mut rng));
+        assert!(model.should_drop(Time::from_secs(131), &mut rng));
+    }
+
+    #[test]
+    fn google_burst_extends_losses() {
+        let d = drops(
+            &LossSpec::GoogleBurst { p_first: 0.01, p_next: 0.5 },
+            200_000,
+            7,
+        );
+        let mut bursts = vec![];
+        let mut cur = 0usize;
+        for &x in &d {
+            if x {
+                cur += 1;
+            } else if cur > 0 {
+                bursts.push(cur);
+                cur = 0;
+            }
+        }
+        assert!(!bursts.is_empty());
+        let mean = bursts.iter().sum::<usize>() as f64 / bursts.len() as f64;
+        // Geometric with p = 0.5 has mean 2.
+        assert!((mean - 2.0).abs() < 0.3, "mean burst {mean}");
+    }
+
+    #[test]
+    fn compound_is_union_of_components() {
+        let spec = LossSpec::Compound(vec![
+            LossSpec::Outage(vec![(Time::from_millis(0), Time::from_millis(10))]),
+            LossSpec::Bernoulli(0.0),
+        ]);
+        let mut model = spec.build();
+        let mut rng = component_rng(8, 0);
+        assert!(model.should_drop(Time::from_millis(5), &mut rng));
+        assert!(!model.should_drop(Time::from_millis(50), &mut rng));
+    }
+
+    #[test]
+    fn bursty_constructor_handles_edge_rates() {
+        // Zero loss rate should produce a model that never drops.
+        let d = drops(&LossSpec::bursty(0.0, 5.0), 10_000, 9);
+        assert!(d.iter().all(|x| !x));
+    }
+}

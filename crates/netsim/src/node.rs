@@ -1,0 +1,138 @@
+//! Nodes and the context handed to their event handlers.
+//!
+//! A [`Node`] is any protocol entity in the simulation: an application
+//! sender, a receiver, or a data center running a J-QoS service.  Nodes are
+//! generic over the message type `M` exchanged on links; the J-QoS core uses
+//! a single `Msg` enum so every entity can talk to every other one.
+
+use std::any::Any;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+
+use crate::sim::SimCore;
+use crate::time::{Dur, Time};
+
+/// Identifier of a node inside one simulator instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a pending timer, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+/// A protocol entity driven by the simulator.
+///
+/// All handlers receive a [`Context`] through which they can read the clock,
+/// send messages over links, and set or cancel timers.  Handlers must not
+/// block; any long-lived state belongs in the node struct itself.
+pub trait Node<M>: 'static {
+    /// Called once when the simulation starts (before any message/timer).
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message sent by `from` is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer set by this node fires.  `tag` is the value passed
+    /// to [`Context::set_timer`].
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: TimerId, tag: u64) {
+        let _ = (ctx, timer, tag);
+    }
+
+    /// Downcasting hook so experiment harnesses can inspect node state after
+    /// the run (see [`crate::sim::Simulator::node_as`]).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Handle given to node handlers for interacting with the simulation.
+pub struct Context<'a, M> {
+    pub(crate) core: &'a mut SimCore<M>,
+    pub(crate) node: NodeId,
+}
+
+impl<'a, M: Clone + 'static> Context<'a, M> {
+    /// The identifier of the node whose handler is running.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        self.core.now
+    }
+
+    /// Sends `msg` to `to` over the link registered between the two nodes.
+    ///
+    /// The message is subject to the link's loss and delay models.  If no
+    /// link exists the message is counted as `no_route` and silently dropped;
+    /// experiments treat that as a configuration error surfaced through
+    /// [`crate::sim::SimStats`].
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.core.send(self.node, to, msg, 0);
+    }
+
+    /// Sends a message of `size_bytes` (used for links with a bandwidth cap;
+    /// plain [`Context::send`] assumes a negligible serialization cost).
+    pub fn send_sized(&mut self, to: NodeId, msg: M, size_bytes: usize) {
+        self.core.send(self.node, to, msg, size_bytes);
+    }
+
+    /// Schedules a message to this node itself after `delay` (a convenient
+    /// way to model internal processing latency).
+    pub fn send_self(&mut self, delay: Dur, msg: M) {
+        self.core.send_local(self.node, msg, delay);
+    }
+
+    /// Sets a timer that fires after `delay` with the given `tag`.
+    pub fn set_timer(&mut self, delay: Dur, tag: u64) -> TimerId {
+        self.core.set_timer(self.node, delay, tag)
+    }
+
+    /// Cancels a previously set timer.  Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.core.cancel_timer(timer);
+    }
+
+    /// A random-number generator dedicated to this node.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.core.node_rng(self.node)
+    }
+
+    /// Whether a link from this node to `to` exists.
+    pub fn has_route(&self, to: NodeId) -> bool {
+        self.core.has_link(self.node, to)
+    }
+
+    /// One-way nominal latency of the link from this node to `to`, if any.
+    /// J-QoS's service-selection logic uses this to estimate δ and x without
+    /// probing.
+    pub fn nominal_latency(&self, to: NodeId) -> Option<Dur> {
+        self.core.nominal_latency(self.node, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_formats_compactly() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", NodeId(12)), "n12");
+    }
+}

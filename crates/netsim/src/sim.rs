@@ -1,0 +1,481 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulator`] owns the nodes, the links between them and the event queue.
+//! Experiments build a topology, add protocol nodes, run the clock forward
+//! and then inspect node state (via [`Simulator::node_as`]) and link
+//! statistics to produce the data series reported in `EXPERIMENTS.md`.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+
+use crate::event::{Event, EventKind};
+use crate::link::{Link, LinkOutcome, LinkSpec, LinkStats};
+use crate::node::{Context, Node, NodeId, TimerId};
+use crate::rng::component_rng;
+use crate::time::{Dur, Time};
+
+/// Global counters kept by the engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages successfully scheduled for delivery.
+    pub messages_sent: u64,
+    /// Messages handed to nodes.
+    pub messages_delivered: u64,
+    /// Messages dropped by a loss model.
+    pub messages_dropped_loss: u64,
+    /// Messages dropped by a queue overflow.
+    pub messages_dropped_queue: u64,
+    /// Sends attempted without a registered link.
+    pub no_route: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Events processed in total.
+    pub events_processed: u64,
+}
+
+/// The part of the engine visible to nodes through [`Context`]; split from
+/// [`Simulator`] so a node handler can borrow it mutably while the node
+/// itself is checked out of the node table.
+pub struct SimCore<M> {
+    pub(crate) now: Time,
+    queue: BinaryHeap<Event<M>>,
+    links: HashMap<(NodeId, NodeId), Link>,
+    node_rngs: Vec<SmallRng>,
+    link_rng: SmallRng,
+    next_seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    stats: SimStats,
+    master_seed: u64,
+}
+
+impl<M: Clone + 'static> SimCore<M> {
+    fn new(master_seed: u64) -> Self {
+        SimCore {
+            now: Time::ZERO,
+            queue: BinaryHeap::new(),
+            links: HashMap::new(),
+            node_rngs: Vec::new(),
+            link_rng: component_rng(master_seed, u64::MAX),
+            next_seq: 0,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            stats: SimStats::default(),
+            master_seed,
+        }
+    }
+
+    fn push(&mut self, at: Time, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    pub(crate) fn send(&mut self, from: NodeId, to: NodeId, msg: M, size_bytes: usize) {
+        let now = self.now;
+        let outcome = match self.links.get_mut(&(from, to)) {
+            Some(link) => link.offer(now, size_bytes, &mut self.link_rng),
+            None => {
+                self.stats.no_route += 1;
+                return;
+            }
+        };
+        match outcome {
+            LinkOutcome::Deliver(latency) => {
+                self.stats.messages_sent += 1;
+                self.push(now + latency, EventKind::Deliver { to, from, msg });
+            }
+            LinkOutcome::DroppedLoss => self.stats.messages_dropped_loss += 1,
+            LinkOutcome::DroppedQueue => self.stats.messages_dropped_queue += 1,
+        }
+    }
+
+    pub(crate) fn send_local(&mut self, node: NodeId, msg: M, delay: Dur) {
+        self.stats.messages_sent += 1;
+        let at = self.now + delay;
+        self.push(at, EventKind::Deliver { to: node, from: node, msg });
+    }
+
+    pub(crate) fn set_timer(&mut self, node: NodeId, delay: Dur, tag: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        let at = self.now + delay;
+        self.push(at, EventKind::Timer { node, timer: id, tag });
+        id
+    }
+
+    pub(crate) fn cancel_timer(&mut self, timer: TimerId) {
+        self.cancelled.insert(timer.0);
+    }
+
+    pub(crate) fn node_rng(&mut self, node: NodeId) -> &mut SmallRng {
+        &mut self.node_rngs[node.0]
+    }
+
+    pub(crate) fn has_link(&self, from: NodeId, to: NodeId) -> bool {
+        self.links.contains_key(&(from, to))
+    }
+
+    pub(crate) fn nominal_latency(&self, from: NodeId, to: NodeId) -> Option<Dur> {
+        self.links.get(&(from, to)).map(|l| l.nominal_latency())
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator<M> {
+    core: SimCore<M>,
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    started: Vec<bool>,
+}
+
+impl<M: Clone + 'static> Simulator<M> {
+    /// Creates an empty simulator with the given master seed.  All randomness
+    /// (link loss, jitter, node RNGs) derives deterministically from it.
+    pub fn new(master_seed: u64) -> Self {
+        Simulator {
+            core: SimCore::new(master_seed),
+            nodes: Vec::new(),
+            started: Vec::new(),
+        }
+    }
+
+    /// Adds a node and returns its identifier.
+    pub fn add_node<N: Node<M>>(&mut self, node: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(Box::new(node)));
+        self.started.push(false);
+        let seed_stream = id.0 as u64;
+        self.core
+            .node_rngs
+            .push(component_rng(self.core.master_seed, seed_stream));
+        id
+    }
+
+    /// Adds a unidirectional link from `a` to `b`.
+    pub fn add_oneway_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.core.links.insert((a, b), spec.build());
+    }
+
+    /// Adds a bidirectional link (two independent unidirectional links built
+    /// from the same spec, so loss processes on each direction are
+    /// independent — as they are on real paths).
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.core.links.insert((a, b), spec.build());
+        self.core.links.insert((b, a), spec.build());
+    }
+
+    /// Adds an asymmetric pair of links (e.g. cellular uplink/downlink).
+    pub fn add_asymmetric_link(&mut self, a: NodeId, b: NodeId, forward: LinkSpec, reverse: LinkSpec) {
+        self.core.links.insert((a, b), forward.build());
+        self.core.links.insert((b, a), reverse.build());
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        self.core.now
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> SimStats {
+        self.core.stats
+    }
+
+    /// Per-link counters for the link from `a` to `b`.
+    pub fn link_stats(&self, a: NodeId, b: NodeId) -> Option<LinkStats> {
+        self.core.links.get(&(a, b)).map(|l| l.stats())
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Downcasts a node to its concrete type for post-run inspection.
+    ///
+    /// # Panics
+    /// Panics if the node id is unknown or the type does not match.
+    pub fn node_as<T: 'static>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.0]
+            .as_mut()
+            .expect("node is currently checked out")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node type mismatch in node_as")
+    }
+
+    /// Calls `on_start` on any node that has not been started yet.
+    fn start_pending(&mut self) {
+        for idx in 0..self.nodes.len() {
+            if self.started[idx] {
+                continue;
+            }
+            self.started[idx] = true;
+            let mut node = self.nodes[idx].take().expect("node missing at start");
+            {
+                let mut ctx = Context {
+                    core: &mut self.core,
+                    node: NodeId(idx),
+                };
+                node.on_start(&mut ctx);
+            }
+            self.nodes[idx] = Some(node);
+        }
+    }
+
+    /// Processes a single event.  Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        self.start_pending();
+        let event = match self.core.queue.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        debug_assert!(event.at >= self.core.now, "time went backwards");
+        self.core.now = event.at;
+        self.core.stats.events_processed += 1;
+        match event.kind {
+            EventKind::Deliver { to, from, msg } => {
+                if to.0 >= self.nodes.len() {
+                    return true;
+                }
+                self.core.stats.messages_delivered += 1;
+                let mut node = self.nodes[to.0].take().expect("node missing at delivery");
+                {
+                    let mut ctx = Context {
+                        core: &mut self.core,
+                        node: to,
+                    };
+                    node.on_message(&mut ctx, from, msg);
+                }
+                self.nodes[to.0] = Some(node);
+            }
+            EventKind::Timer { node: nid, timer, tag } => {
+                if self.core.cancelled.remove(&timer.0) {
+                    return true;
+                }
+                if nid.0 >= self.nodes.len() {
+                    return true;
+                }
+                self.core.stats.timers_fired += 1;
+                let mut node = self.nodes[nid.0].take().expect("node missing at timer");
+                {
+                    let mut ctx = Context {
+                        core: &mut self.core,
+                        node: nid,
+                    };
+                    node.on_timer(&mut ctx, timer, tag);
+                }
+                self.nodes[nid.0] = Some(node);
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue is empty or the clock reaches `deadline`,
+    /// whichever happens first.  Events scheduled exactly at the deadline are
+    /// processed.
+    pub fn run_until(&mut self, deadline: Time) {
+        self.start_pending();
+        loop {
+            let next_at = match self.core.queue.peek() {
+                Some(e) => e.at,
+                None => break,
+            };
+            if next_at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.core.now < deadline {
+            self.core.now = deadline;
+        }
+    }
+
+    /// Runs for `dur` of simulated time from the current clock.
+    pub fn run_for(&mut self, dur: Dur) {
+        let deadline = self.core.now + dur;
+        self.run_until(deadline);
+    }
+
+    /// Runs until the event queue drains completely (or `max_events` events
+    /// have been processed, as a runaway guard).
+    pub fn run_to_completion(&mut self, max_events: u64) {
+        self.start_pending();
+        let mut processed = 0;
+        while processed < max_events && self.step() {
+            processed += 1;
+        }
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::LossSpec;
+    use std::any::Any;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    struct Echo;
+    impl Node<Msg> for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+            if let Msg::Ping(n) = msg {
+                ctx.send(from, Msg::Pong(n));
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Client {
+        server: NodeId,
+        to_send: u32,
+        pongs: Vec<(u32, Time)>,
+    }
+    impl Node<Msg> for Client {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            for i in 0..self.to_send {
+                ctx.send(self.server, Msg::Ping(i));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+            if let Msg::Pong(n) = msg {
+                self.pongs.push((n, ctx.now()));
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip_takes_two_link_delays() {
+        let mut sim = Simulator::new(42);
+        let server = sim.add_node(Echo);
+        let client = sim.add_node(Client {
+            server,
+            to_send: 3,
+            pongs: vec![],
+        });
+        sim.add_link(client, server, LinkSpec::symmetric(Dur::from_millis(40)));
+        sim.run_for(Dur::from_secs(1));
+        let c = sim.node_as::<Client>(client);
+        assert_eq!(c.pongs.len(), 3);
+        for (_, t) in &c.pongs {
+            assert_eq!(*t, Time::from_millis(80));
+        }
+    }
+
+    #[test]
+    fn lossy_link_drops_are_counted() {
+        let mut sim = Simulator::new(1);
+        let server = sim.add_node(Echo);
+        let client = sim.add_node(Client {
+            server,
+            to_send: 2_000,
+            pongs: vec![],
+        });
+        sim.add_link(
+            client,
+            server,
+            LinkSpec::symmetric(Dur::from_millis(10)).loss(LossSpec::Bernoulli(0.5)),
+        );
+        sim.run_for(Dur::from_secs(5));
+        let stats = sim.stats();
+        assert!(stats.messages_dropped_loss > 500);
+        let c = sim.node_as::<Client>(client);
+        // Each direction loses ~half, so roughly a quarter of pings get pongs.
+        assert!(c.pongs.len() > 300 && c.pongs.len() < 700, "{}", c.pongs.len());
+    }
+
+    #[test]
+    fn missing_route_counts_no_route() {
+        let mut sim = Simulator::new(3);
+        let server = sim.add_node(Echo);
+        let client = sim.add_node(Client {
+            server,
+            to_send: 5,
+            pongs: vec![],
+        });
+        // No link registered.
+        sim.run_for(Dur::from_secs(1));
+        assert_eq!(sim.stats().no_route, 5);
+        assert!(sim.node_as::<Client>(client).pongs.is_empty());
+    }
+
+    struct TimerNode {
+        fired: Vec<(u64, Time)>,
+        cancel_second: bool,
+    }
+    impl Node<Msg> for TimerNode {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.set_timer(Dur::from_millis(10), 1);
+            let t2 = ctx.set_timer(Dur::from_millis(20), 2);
+            ctx.set_timer(Dur::from_millis(30), 3);
+            if self.cancel_second {
+                ctx.cancel_timer(t2);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _timer: TimerId, tag: u64) {
+            self.fired.push((tag, ctx.now()));
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_respect_cancellation() {
+        let mut sim = Simulator::new(9);
+        let n = sim.add_node(TimerNode {
+            fired: vec![],
+            cancel_second: true,
+        });
+        sim.run_for(Dur::from_secs(1));
+        let node = sim.node_as::<TimerNode>(n);
+        let tags: Vec<u64> = node.fired.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tags, vec![1, 3]);
+        assert_eq!(node.fired[0].1, Time::from_millis(10));
+        assert_eq!(node.fired[1].1, Time::from_millis(30));
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim: Simulator<Msg> = Simulator::new(5);
+        sim.run_until(Time::from_secs(10));
+        assert_eq!(sim.now(), Time::from_secs(10));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(seed);
+            let server = sim.add_node(Echo);
+            let client = sim.add_node(Client {
+                server,
+                to_send: 500,
+                pongs: vec![],
+            });
+            sim.add_link(
+                client,
+                server,
+                LinkSpec::symmetric(Dur::from_millis(10)).loss(LossSpec::Bernoulli(0.3)),
+            );
+            sim.run_for(Dur::from_secs(2));
+            sim.node_as::<Client>(client).pongs.clone()
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
+    }
+}

@@ -1,0 +1,314 @@
+//! Statistics helpers for building the distributions the paper reports.
+//!
+//! Every figure in §6 of the paper is a CDF or CCDF over per-packet or
+//! per-path quantities.  [`Cdf`] collects samples and produces percentile
+//! queries, evenly spaced CDF/CCDF points for plotting, and a [`Summary`]
+//! (mean / min / max / selected percentiles) used in `EXPERIMENTS.md`.
+
+use std::fmt;
+
+/// An online sample collector with percentile queries.
+#[derive(Clone, Debug, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Cdf::default()
+    }
+
+    /// Creates a collector from existing samples.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        Cdf { samples, sorted: false }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, value: f64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Adds many samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        self.samples.extend(values);
+        self.sorted = false;
+    }
+
+    /// Number of samples collected.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-th quantile (`q` in `[0, 1]`), using nearest-rank
+    /// interpolation.  Returns `None` if the collector is empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() - 1) as f64 * q).round() as usize;
+        Some(self.samples[idx])
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Minimum sample.
+    pub fn min(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.last().copied()
+    }
+
+    /// Fraction of samples less than or equal to `x` — the empirical CDF
+    /// evaluated at `x`.
+    pub fn fraction_leq(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        // Binary search for the partition point.
+        let count = self.samples.partition_point(|&v| v <= x);
+        count as f64 / self.samples.len() as f64
+    }
+
+    /// Evenly spaced `(value, cumulative_fraction)` points suitable for
+    /// plotting a CDF curve; at most `points` entries.
+    pub fn cdf_points(&mut self, points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return vec![];
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let step = (n.max(points) / points).max(1);
+        let mut out = Vec::with_capacity(points + 1);
+        let mut i = 0;
+        while i < n {
+            out.push((self.samples[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        let last = (self.samples[n - 1], 1.0);
+        if out.last() != Some(&last) {
+            out.push(last);
+        }
+        out
+    }
+
+    /// `(value, complementary_fraction)` points for plotting a CCDF.
+    pub fn ccdf_points(&mut self, points: usize) -> Vec<(f64, f64)> {
+        self.cdf_points(points)
+            .into_iter()
+            .map(|(v, f)| (v, 1.0 - f))
+            .collect()
+    }
+
+    /// Collapses the collector into a [`Summary`].
+    pub fn summary(&mut self) -> Summary {
+        Summary {
+            count: self.len(),
+            mean: self.mean().unwrap_or(0.0),
+            min: self.min().unwrap_or(0.0),
+            p25: self.quantile(0.25).unwrap_or(0.0),
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p90: self.quantile(0.90).unwrap_or(0.0),
+            p95: self.quantile(0.95).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+        }
+    }
+
+    /// Immutable view of the raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A compact description of a distribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} min={:.2} p50={:.2} p90={:.2} p95={:.2} p99={:.2} max={:.2}",
+            self.count, self.mean, self.min, self.p50, self.p90, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// A simple ratio counter (e.g. packets recovered / packets lost).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Ratio {
+    /// Numerator.
+    pub hits: u64,
+    /// Denominator.
+    pub total: u64,
+}
+
+impl Ratio {
+    /// Records one trial with the given outcome.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Adds `hits` out of `total` trials.
+    pub fn add(&mut self, hits: u64, total: u64) {
+        self.hits += hits;
+        self.total += total;
+    }
+
+    /// The ratio as a fraction in `[0, 1]`; zero if no trials were recorded.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// The ratio as a percentage.
+    pub fn percent(&self) -> f64 {
+        self.fraction() * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_sequence() {
+        let mut c = Cdf::from_samples((1..=100).map(|x| x as f64).collect());
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(1.0), Some(100.0));
+        // Nearest-rank on an even-length sample picks the upper of the two
+        // central values.
+        assert_eq!(c.median(), Some(51.0));
+        assert_eq!(c.quantile(0.95), Some(95.0));
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(100.0));
+        assert_eq!(c.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn empty_collector_returns_none() {
+        let mut c = Cdf::new();
+        assert!(c.quantile(0.5).is_none());
+        assert!(c.mean().is_none());
+        assert!(c.cdf_points(10).is_empty());
+        assert_eq!(c.fraction_leq(1.0), 0.0);
+    }
+
+    #[test]
+    fn fraction_leq_matches_definition() {
+        let mut c = Cdf::from_samples(vec![1.0, 2.0, 2.0, 3.0, 10.0]);
+        assert_eq!(c.fraction_leq(0.5), 0.0);
+        assert_eq!(c.fraction_leq(2.0), 0.6);
+        assert_eq!(c.fraction_leq(3.0), 0.8);
+        assert_eq!(c.fraction_leq(10.0), 1.0);
+        assert_eq!(c.fraction_leq(100.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone_and_end_at_one() {
+        let mut c = Cdf::from_samples((0..1000).map(|x| (x % 37) as f64).collect());
+        let pts = c.cdf_points(50);
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0, "values must be non-decreasing");
+            assert!(w[1].1 >= w[0].1, "fractions must be non-decreasing");
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn ccdf_is_complement_of_cdf() {
+        let mut c = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        let cdf = c.cdf_points(4);
+        let ccdf = c.ccdf_points(4);
+        for (a, b) in cdf.iter().zip(ccdf.iter()) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 + b.1 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn summary_display_is_compact() {
+        let mut c = Cdf::from_samples(vec![1.0, 2.0, 3.0]);
+        let s = c.summary();
+        assert_eq!(s.count, 3);
+        let text = format!("{s}");
+        assert!(text.contains("n=3"));
+        assert!(text.contains("mean=2.00"));
+    }
+
+    #[test]
+    fn ratio_counting() {
+        let mut r = Ratio::default();
+        assert_eq!(r.fraction(), 0.0);
+        for i in 0..10 {
+            r.record(i % 2 == 0);
+        }
+        assert_eq!(r.fraction(), 0.5);
+        r.add(5, 5);
+        assert_eq!(r.hits, 10);
+        assert_eq!(r.total, 15);
+        assert!((r.percent() - 66.666).abs() < 0.01);
+    }
+}

@@ -1,0 +1,279 @@
+//! Virtual time.
+//!
+//! The simulator clock counts microseconds since simulation start.  Two
+//! newtypes are provided: [`Time`] (an instant) and [`Dur`] (a span).  Both
+//! are plain `u64` wrappers so they are `Copy`, ordered, hashable, and cheap
+//! to store in every packet record.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant on the simulation clock, in microseconds since start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub u64);
+
+impl Time {
+    /// The zero instant (simulation start).
+    pub const ZERO: Time = Time(0);
+
+    /// Builds an instant from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Time(ms * 1_000)
+    }
+
+    /// Builds an instant from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Time(s * 1_000_000)
+    }
+
+    /// Builds an instant from fractional milliseconds.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Time((ms.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    /// Microseconds since simulation start.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since simulation start, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds since simulation start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The span from `earlier` to `self`, saturating at zero.
+    pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Dur {
+    /// The zero-length span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Builds a span from whole microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        Dur(us)
+    }
+
+    /// Builds a span from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Dur(ms * 1_000)
+    }
+
+    /// Builds a span from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Dur(s * 1_000_000)
+    }
+
+    /// Builds a span from fractional milliseconds, rounding to microseconds.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Dur((ms.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    /// Builds a span from fractional seconds, rounding to microseconds.
+    pub fn from_secs_f64(s: f64) -> Self {
+        Dur((s.max(0.0) * 1_000_000.0).round() as u64)
+    }
+
+    /// Microseconds in this span.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds in this span, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds in this span, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// `true` if this span is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the larger of two spans.
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two spans.
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+
+    /// Multiplies the span by a non-negative float, rounding to microseconds.
+    pub fn mul_f64(self, f: f64) -> Dur {
+        Dur((self.0 as f64 * f.max(0.0)).round() as u64)
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Dur) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<Dur> for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Dur> for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = Time::from_millis(150);
+        assert_eq!(t.as_micros(), 150_000);
+        assert_eq!(t.as_millis_f64(), 150.0);
+        let t2 = t + Dur::from_millis(25);
+        assert_eq!(t2.as_millis_f64(), 175.0);
+        assert_eq!((t2 - t).as_millis_f64(), 25.0);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let early = Time::from_millis(10);
+        let late = Time::from_millis(30);
+        assert_eq!((early - late), Dur::ZERO);
+        assert_eq!(Dur::from_millis(5).saturating_sub(Dur::from_millis(9)), Dur::ZERO);
+    }
+
+    #[test]
+    fn dur_scaling() {
+        let d = Dur::from_millis(100);
+        assert_eq!(d.mul_f64(0.5), Dur::from_millis(50));
+        assert_eq!(d * 3, Dur::from_millis(300));
+        assert_eq!(d / 4, Dur::from_millis(25));
+        assert_eq!(Dur::from_secs_f64(0.25), Dur::from_millis(250));
+    }
+
+    #[test]
+    fn fractional_constructors_round() {
+        assert_eq!(Time::from_millis_f64(1.5).as_micros(), 1_500);
+        assert_eq!(Dur::from_millis_f64(0.0254).as_micros(), 25);
+        // Negative inputs clamp to zero instead of wrapping.
+        assert_eq!(Dur::from_millis_f64(-3.0), Dur::ZERO);
+        assert_eq!(Time::from_millis_f64(-3.0), Time::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Time::from_millis(5);
+        let b = Time::from_millis(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Dur::from_millis(3).max(Dur::from_millis(7)), Dur::from_millis(7));
+    }
+
+    #[test]
+    fn display_formats_milliseconds() {
+        assert_eq!(format!("{}", Time::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", Dur::from_micros(1500)), "1.500ms");
+    }
+}

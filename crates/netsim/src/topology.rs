@@ -1,0 +1,152 @@
+//! Topology description helpers.
+//!
+//! The J-QoS experiments all use the same macro-topology from Figure 2 of the
+//! paper: a sender `S` and receiver `R` connected by a direct best-effort
+//! Internet path, plus a cloud overlay made of an ingress data center `DC1`
+//! (near the sender) and an egress data center `DC2` (near the receiver).
+//! [`Topology`] captures the per-segment link specs so an experiment can be
+//! described declaratively and instantiated onto a [`crate::Simulator`] by
+//! higher-level crates.
+
+use crate::link::LinkSpec;
+use crate::loss::LossSpec;
+use crate::time::Dur;
+
+/// Link specs for one sender/receiver pair plus the cloud overlay around it.
+///
+/// Naming follows Figure 2 of the paper: `y` is the direct Internet path,
+/// `δ_s` the sender↔DC1 access segment, `x` the inter-DC path, and `δ_r` the
+/// receiver↔DC2 access segment.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Direct Internet path between sender and receiver (`y`).
+    pub internet: LinkSpec,
+    /// Sender ↔ ingress DC access path (`δ_s`).
+    pub sender_dc1: LinkSpec,
+    /// Inter-DC cloud path (`x`).
+    pub dc1_dc2: LinkSpec,
+    /// Receiver ↔ egress DC access path (`δ_r`).
+    pub receiver_dc2: LinkSpec,
+}
+
+impl Topology {
+    /// A topology with the given one-way latencies and no loss anywhere —
+    /// useful as a starting point before layering loss models on.
+    pub fn lossless(y: Dur, delta_s: Dur, x: Dur, delta_r: Dur) -> Self {
+        Topology {
+            internet: LinkSpec::symmetric(y),
+            sender_dc1: LinkSpec::symmetric(delta_s),
+            dc1_dc2: LinkSpec::symmetric(x),
+            receiver_dc2: LinkSpec::symmetric(delta_r),
+        }
+    }
+
+    /// The canonical wide-area scenario of the paper's evaluation: an
+    /// intercontinental path (default 75 ms one-way ≈ 150 ms RTT), 10 ms
+    /// access latency to each DC, an inter-DC path comparable to the direct
+    /// path, and a lossy Internet segment.
+    pub fn wide_area(internet_loss: LossSpec) -> Self {
+        let mut t = Topology::lossless(
+            Dur::from_millis(75),
+            Dur::from_millis(10),
+            Dur::from_millis(70),
+            Dur::from_millis(10),
+        );
+        t.internet = t.internet.loss(internet_loss);
+        t
+    }
+
+    /// Sets the loss model on the direct Internet path.
+    pub fn internet_loss(mut self, loss: LossSpec) -> Self {
+        self.internet = self.internet.loss(loss);
+        self
+    }
+
+    /// Sets the loss model on the sender access path (source → DC1); §6.2
+    /// reports that ~98 % of access losses occur on this segment.
+    pub fn sender_access_loss(mut self, loss: LossSpec) -> Self {
+        self.sender_dc1 = self.sender_dc1.loss(loss);
+        self
+    }
+
+    /// Sets the loss model on the receiver access path (DC2 → receiver).
+    pub fn receiver_access_loss(mut self, loss: LossSpec) -> Self {
+        self.receiver_dc2 = self.receiver_dc2.loss(loss);
+        self
+    }
+
+    /// Caps the sender's uplink bandwidth (bits per second) — used by the
+    /// mobile-network case study in §6.5.
+    pub fn sender_uplink_bandwidth(mut self, bps: u64, queue: usize) -> Self {
+        self.sender_dc1 = self.sender_dc1.bandwidth(bps, queue);
+        self.internet = self.internet.bandwidth(bps, queue);
+        self
+    }
+
+    /// One-way nominal latency of the direct Internet path.
+    pub fn y(&self) -> Dur {
+        self.internet.nominal_latency()
+    }
+
+    /// One-way nominal latency of the sender access segment.
+    pub fn delta_s(&self) -> Dur {
+        self.sender_dc1.nominal_latency()
+    }
+
+    /// One-way nominal latency of the inter-DC segment.
+    pub fn x(&self) -> Dur {
+        self.dc1_dc2.nominal_latency()
+    }
+
+    /// One-way nominal latency of the receiver access segment.
+    pub fn delta_r(&self) -> Dur {
+        self.receiver_dc2.nominal_latency()
+    }
+
+    /// Nominal round-trip time of the direct Internet path.
+    pub fn rtt(&self) -> Dur {
+        self.y() * 2
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::wide_area(LossSpec::Bernoulli(0.005))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_topology_exposes_segment_latencies() {
+        let t = Topology::lossless(
+            Dur::from_millis(75),
+            Dur::from_millis(8),
+            Dur::from_millis(60),
+            Dur::from_millis(12),
+        );
+        assert_eq!(t.y(), Dur::from_millis(75));
+        assert_eq!(t.delta_s(), Dur::from_millis(8));
+        assert_eq!(t.x(), Dur::from_millis(60));
+        assert_eq!(t.delta_r(), Dur::from_millis(12));
+        assert_eq!(t.rtt(), Dur::from_millis(150));
+    }
+
+    #[test]
+    fn wide_area_defaults_match_paper_scale() {
+        let t = Topology::default();
+        // Intercontinental RTT ~150 ms, access latency ~10 ms as in §6.1.
+        assert_eq!(t.rtt(), Dur::from_millis(150));
+        assert_eq!(t.delta_r(), Dur::from_millis(10));
+    }
+
+    #[test]
+    fn uplink_bandwidth_applies_to_sender_segments() {
+        let t = Topology::default().sender_uplink_bandwidth(5_000_000, 100);
+        assert_eq!(t.sender_dc1.bandwidth_bps, Some(5_000_000));
+        assert_eq!(t.internet.bandwidth_bps, Some(5_000_000));
+        assert_eq!(t.receiver_dc2.bandwidth_bps, None);
+    }
+}

@@ -1,0 +1,313 @@
+//! Per-packet delivery traces and loss-episode analysis.
+//!
+//! The PlanetLab evaluation in §6.2 of the paper classifies loss episodes by
+//! burst length: *Random* (a single packet), *Multi-packet* (2–14 packets)
+//! and *Outage* (>14 packets).  [`DeliveryTrace`] records, per sequence
+//! number, whether a packet arrived and when; [`episodes`] extracts loss
+//! episodes; and [`EpisodeBreakdown`] reports each class's contribution to
+//! the overall loss rate (Figure 8(b)).
+
+use std::collections::BTreeMap;
+
+use crate::time::Time;
+
+/// Classification of a loss episode by burst length, as in §6.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EpisodeKind {
+    /// A single lost packet.
+    Random,
+    /// A burst of 2–14 lost packets.
+    MultiPacket,
+    /// A burst longer than 14 packets (an outage).
+    Outage,
+}
+
+impl EpisodeKind {
+    /// Classifies a burst of `len` consecutive losses.
+    pub fn classify(len: usize) -> EpisodeKind {
+        match len {
+            0 | 1 => EpisodeKind::Random,
+            2..=14 => EpisodeKind::MultiPacket,
+            _ => EpisodeKind::Outage,
+        }
+    }
+}
+
+/// One maximal run of consecutive lost sequence numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LossEpisode {
+    /// First lost sequence number in the run.
+    pub first_seq: u64,
+    /// Number of consecutive lost packets.
+    pub length: usize,
+    /// Classification by burst length.
+    pub kind: EpisodeKind,
+}
+
+/// A per-flow record of which sequence numbers were sent and which arrived.
+#[derive(Clone, Debug, Default)]
+pub struct DeliveryTrace {
+    sent: BTreeMap<u64, Time>,
+    delivered: BTreeMap<u64, Time>,
+}
+
+impl DeliveryTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that sequence number `seq` was sent at `at`.
+    pub fn record_sent(&mut self, seq: u64, at: Time) {
+        self.sent.entry(seq).or_insert(at);
+    }
+
+    /// Records that sequence number `seq` arrived at `at` (first arrival wins).
+    pub fn record_delivered(&mut self, seq: u64, at: Time) {
+        self.delivered.entry(seq).or_insert(at);
+    }
+
+    /// Number of distinct sequence numbers sent.
+    pub fn sent_count(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// Number of distinct sequence numbers delivered.
+    pub fn delivered_count(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// Number of sent-but-never-delivered packets.
+    pub fn lost_count(&self) -> usize {
+        self.sent.keys().filter(|s| !self.delivered.contains_key(s)).count()
+    }
+
+    /// Overall loss rate.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent.is_empty() {
+            0.0
+        } else {
+            self.lost_count() as f64 / self.sent.len() as f64
+        }
+    }
+
+    /// One-way latency samples (delivered time minus send time), in
+    /// milliseconds, for all delivered packets.
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.delivered
+            .iter()
+            .filter_map(|(seq, d)| {
+                self.sent
+                    .get(seq)
+                    .map(|s| d.saturating_since(*s).as_millis_f64())
+            })
+            .collect()
+    }
+
+    /// Whether a given sequence number was delivered.
+    pub fn was_delivered(&self, seq: u64) -> bool {
+        self.delivered.contains_key(&seq)
+    }
+
+    /// Send time of a sequence number, if recorded.
+    pub fn sent_at(&self, seq: u64) -> Option<Time> {
+        self.sent.get(&seq).copied()
+    }
+
+    /// Delivery time of a sequence number, if it arrived.
+    pub fn delivered_at(&self, seq: u64) -> Option<Time> {
+        self.delivered.get(&seq).copied()
+    }
+
+    /// Extracts maximal runs of consecutive lost sequence numbers.
+    pub fn episodes(&self) -> Vec<LossEpisode> {
+        episodes(self.sent.keys().map(|&s| (s, self.delivered.contains_key(&s))))
+    }
+
+    /// Summarises episode contribution to the loss rate (Figure 8(b)).
+    pub fn episode_breakdown(&self) -> EpisodeBreakdown {
+        EpisodeBreakdown::from_episodes(&self.episodes())
+    }
+}
+
+/// Extracts loss episodes from an ordered `(seq, delivered)` iterator.
+pub fn episodes<I: IntoIterator<Item = (u64, bool)>>(items: I) -> Vec<LossEpisode> {
+    let mut out = Vec::new();
+    let mut run_start: Option<u64> = None;
+    let mut run_len = 0usize;
+    let mut prev_seq: Option<u64> = None;
+    for (seq, delivered) in items {
+        let contiguous = prev_seq.map(|p| seq == p + 1).unwrap_or(true);
+        if delivered || !contiguous {
+            if let Some(start) = run_start.take() {
+                out.push(LossEpisode {
+                    first_seq: start,
+                    length: run_len,
+                    kind: EpisodeKind::classify(run_len),
+                });
+            }
+            run_len = 0;
+            if !delivered {
+                run_start = Some(seq);
+                run_len = 1;
+            }
+        } else if run_start.is_some() {
+            run_len += 1;
+        } else {
+            run_start = Some(seq);
+            run_len = 1;
+        }
+        prev_seq = Some(seq);
+    }
+    if let Some(start) = run_start {
+        out.push(LossEpisode {
+            first_seq: start,
+            length: run_len,
+            kind: EpisodeKind::classify(run_len),
+        });
+    }
+    out
+}
+
+/// Per-class contribution of loss episodes to the total number of lost
+/// packets, as plotted in Figure 8(b).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EpisodeBreakdown {
+    /// Lost packets belonging to single-packet episodes.
+    pub random_packets: usize,
+    /// Lost packets belonging to 2–14-packet episodes.
+    pub multi_packets: usize,
+    /// Lost packets belonging to >14-packet episodes.
+    pub outage_packets: usize,
+    /// Number of episodes of each kind (random, multi, outage).
+    pub episode_counts: (usize, usize, usize),
+}
+
+impl EpisodeBreakdown {
+    /// Builds the breakdown from a list of episodes.
+    pub fn from_episodes(eps: &[LossEpisode]) -> Self {
+        let mut b = EpisodeBreakdown::default();
+        for e in eps {
+            match e.kind {
+                EpisodeKind::Random => {
+                    b.random_packets += e.length;
+                    b.episode_counts.0 += 1;
+                }
+                EpisodeKind::MultiPacket => {
+                    b.multi_packets += e.length;
+                    b.episode_counts.1 += 1;
+                }
+                EpisodeKind::Outage => {
+                    b.outage_packets += e.length;
+                    b.episode_counts.2 += 1;
+                }
+            }
+        }
+        b
+    }
+
+    /// Total lost packets across all episodes.
+    pub fn total_lost(&self) -> usize {
+        self.random_packets + self.multi_packets + self.outage_packets
+    }
+
+    /// Fraction of lost packets contributed by each class
+    /// `(random, multi, outage)`.
+    pub fn contribution(&self) -> (f64, f64, f64) {
+        let t = self.total_lost();
+        if t == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.random_packets as f64 / t as f64,
+            self.multi_packets as f64 / t as f64,
+            self.outage_packets as f64 / t as f64,
+        )
+    }
+
+    /// Whether this trace saw at least one outage episode.
+    pub fn has_outage(&self) -> bool {
+        self.episode_counts.2 > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_boundaries_match_paper() {
+        assert_eq!(EpisodeKind::classify(1), EpisodeKind::Random);
+        assert_eq!(EpisodeKind::classify(2), EpisodeKind::MultiPacket);
+        assert_eq!(EpisodeKind::classify(14), EpisodeKind::MultiPacket);
+        assert_eq!(EpisodeKind::classify(15), EpisodeKind::Outage);
+        assert_eq!(EpisodeKind::classify(1000), EpisodeKind::Outage);
+    }
+
+    #[test]
+    fn episodes_extracts_runs() {
+        // seq: 0..10, losses at 2, and 5-7 (burst of 3)
+        let delivered: Vec<(u64, bool)> = (0..10)
+            .map(|s| (s, !(s == 2 || (5..=7).contains(&s))))
+            .collect();
+        let eps = episodes(delivered);
+        assert_eq!(eps.len(), 2);
+        assert_eq!(eps[0], LossEpisode { first_seq: 2, length: 1, kind: EpisodeKind::Random });
+        assert_eq!(eps[1], LossEpisode { first_seq: 5, length: 3, kind: EpisodeKind::MultiPacket });
+    }
+
+    #[test]
+    fn trailing_loss_run_is_captured() {
+        let delivered: Vec<(u64, bool)> = (0..30).map(|s| (s, s < 10)).collect();
+        let eps = episodes(delivered);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].length, 20);
+        assert_eq!(eps[0].kind, EpisodeKind::Outage);
+    }
+
+    #[test]
+    fn delivery_trace_loss_accounting() {
+        let mut t = DeliveryTrace::new();
+        for seq in 0..100u64 {
+            t.record_sent(seq, Time::from_millis(seq));
+            if seq % 10 != 0 {
+                t.record_delivered(seq, Time::from_millis(seq + 75));
+            }
+        }
+        assert_eq!(t.sent_count(), 100);
+        assert_eq!(t.delivered_count(), 90);
+        assert_eq!(t.lost_count(), 10);
+        assert!((t.loss_rate() - 0.1).abs() < 1e-12);
+        let lat = t.latencies_ms();
+        assert_eq!(lat.len(), 90);
+        assert!(lat.iter().all(|&l| l == 75.0));
+        let eps = t.episodes();
+        assert_eq!(eps.len(), 10);
+        assert!(eps.iter().all(|e| e.kind == EpisodeKind::Random));
+    }
+
+    #[test]
+    fn breakdown_contributions_sum_to_one() {
+        let eps = vec![
+            LossEpisode { first_seq: 0, length: 1, kind: EpisodeKind::Random },
+            LossEpisode { first_seq: 10, length: 5, kind: EpisodeKind::MultiPacket },
+            LossEpisode { first_seq: 100, length: 20, kind: EpisodeKind::Outage },
+        ];
+        let b = EpisodeBreakdown::from_episodes(&eps);
+        assert_eq!(b.total_lost(), 26);
+        let (r, m, o) = b.contribution();
+        assert!((r + m + o - 1.0).abs() < 1e-12);
+        assert!(b.has_outage());
+        assert_eq!(b.episode_counts, (1, 1, 1));
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_idempotent() {
+        let mut t = DeliveryTrace::new();
+        t.record_sent(1, Time::from_millis(0));
+        t.record_delivered(1, Time::from_millis(50));
+        t.record_delivered(1, Time::from_millis(99));
+        assert_eq!(t.delivered_at(1), Some(Time::from_millis(50)));
+        assert_eq!(t.delivered_count(), 1);
+    }
+}

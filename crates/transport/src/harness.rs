@@ -1,0 +1,210 @@
+//! Batch runner for the web-transfer experiment (Figure 9(b)).
+//!
+//! Runs many independent request/response transfers over the §6.4 topology
+//! (200 ms RTT, Google burst-loss model, 30 ms RTT to each DC) and collects
+//! flow-completion times, with or without J-QoS assistance.
+
+use netsim::{Dur, LossSpec, NodeId, Simulator, Topology};
+
+use crate::minitcp::{CloudRelay, JqosAssist, TcpClient, TcpConfig, TcpMsg, TcpServer};
+
+/// Configuration of a batch of web transfers.
+#[derive(Clone, Debug)]
+pub struct WebExperimentConfig {
+    /// Number of transfers to run.
+    pub transfers: usize,
+    /// Response size in bytes.
+    pub response_bytes: u32,
+    /// TCP parameters.
+    pub tcp: TcpConfig,
+    /// J-QoS assistance mode.
+    pub assist: JqosAssist,
+    /// Topology (direct path latency/loss plus DC access latencies).
+    pub topology: Topology,
+    /// Base RNG seed; transfer `i` uses `seed + i`.
+    pub seed: u64,
+    /// Wall-clock bound per transfer (transfers not finished by then are
+    /// reported as `None`).
+    pub per_transfer_timeout: Dur,
+}
+
+impl WebExperimentConfig {
+    /// The §6.4 experiment: 50 KB responses over the Google-study topology.
+    pub fn google_study(transfers: usize, assist: JqosAssist, seed: u64) -> Self {
+        WebExperimentConfig {
+            transfers,
+            response_bytes: 50 * 1024,
+            tcp: TcpConfig::default(),
+            assist,
+            topology: Topology::lossless(
+                Dur::from_millis(100),
+                Dur::from_millis(15),
+                Dur::from_millis(100),
+                Dur::from_millis(15),
+            )
+            .internet_loss(LossSpec::GoogleBurst { p_first: 0.01, p_next: 0.5 }),
+            seed,
+            per_transfer_timeout: Dur::from_secs(60),
+        }
+    }
+
+    /// The queueing delay added at the cloud relay so that a recovered copy
+    /// reaches the client after the coding service's full recovery latency
+    /// (`y + 4δ_r`, §6.1), accounting for the relay's own link latencies.
+    pub fn recovery_extra_delay(&self) -> Dur {
+        let target = self.topology.y() + self.topology.delta_r() * 4;
+        target - (self.topology.delta_s() + self.topology.delta_r())
+    }
+}
+
+/// Result of one transfer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferResult {
+    /// Index of the transfer within the batch.
+    pub index: usize,
+    /// Flow completion time, or `None` if the transfer did not finish within
+    /// the per-transfer bound.
+    pub fct: Option<Dur>,
+    /// Retransmissions the server performed.
+    pub retransmissions: u64,
+    /// Timeouts the server took.
+    pub timeouts: u64,
+}
+
+/// Runs a batch of independent transfers and returns their results.
+pub fn run_web_transfers(config: &WebExperimentConfig) -> Vec<TransferResult> {
+    (0..config.transfers)
+        .map(|i| run_single(config, i))
+        .collect()
+}
+
+fn run_single(config: &WebExperimentConfig, index: usize) -> TransferResult {
+    let mut sim: Simulator<TcpMsg> = Simulator::new(config.seed.wrapping_add(index as u64));
+    let relay_needed = config.assist != JqosAssist::None;
+
+    let client = sim.add_node(TcpClient::new(config.tcp, NodeId(1), config.response_bytes));
+    let server = sim.add_node(TcpServer::new(
+        config.tcp,
+        config.assist,
+        client,
+        if relay_needed { Some(NodeId(2)) } else { None },
+        config.response_bytes,
+    ));
+
+    // Direct Internet path.  The Google-study loss model applies to the
+    // response direction (server → client), which is where the study measured
+    // its bursty losses; the thin request/ACK direction uses the same latency
+    // without loss.
+    let clean_forward = netsim::LinkSpec::with_delay(config.topology.internet.delay.clone());
+    sim.add_asymmetric_link(client, server, clean_forward, config.topology.internet.clone());
+
+    if relay_needed {
+        // Server → DC1 → DC2 → client, collapsed into a single relay whose
+        // extra queueing delay stands in for the recovery latency.
+        let relay = sim.add_node(CloudRelay::new(client, config.recovery_extra_delay()));
+        sim.add_link(server, relay, config.topology.sender_dc1.clone());
+        sim.add_link(relay, client, config.topology.receiver_dc2.clone());
+    }
+
+    sim.run_for(config.per_transfer_timeout);
+    let (fct, _started) = {
+        let c = sim.node_as::<TcpClient>(client);
+        (c.completion_time(), c.started_at)
+    };
+    let (retx, timeouts) = {
+        let s = sim.node_as::<TcpServer>(server);
+        (s.retransmissions, s.timeouts)
+    };
+    TransferResult {
+        index,
+        fct,
+        retransmissions: retx,
+        timeouts,
+    }
+}
+
+/// Summary helpers over a batch of results.
+pub trait TransferBatch {
+    /// Completed FCTs in seconds.
+    fn fcts_secs(&self) -> Vec<f64>;
+    /// The value at the given quantile of the FCT distribution.
+    fn fct_quantile(&self, q: f64) -> f64;
+    /// Fraction of transfers that failed to finish in time.
+    fn incomplete_fraction(&self) -> f64;
+}
+
+impl TransferBatch for [TransferResult] {
+    fn fcts_secs(&self) -> Vec<f64> {
+        self.iter()
+            .filter_map(|r| r.fct.map(|d| d.as_secs_f64()))
+            .collect()
+    }
+
+    fn fct_quantile(&self, q: f64) -> f64 {
+        let mut fcts = self.fcts_secs();
+        if fcts.is_empty() {
+            return 0.0;
+        }
+        fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((fcts.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        fcts[idx]
+    }
+
+    fn incomplete_fraction(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.iter().filter(|r| r.fct.is_none()).count() as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_complete_and_are_reproducible() {
+        let config = WebExperimentConfig::google_study(40, JqosAssist::None, 11);
+        let a = run_web_transfers(&config);
+        let b = run_web_transfers(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+        assert!(a.as_slice().incomplete_fraction() < 0.05);
+        assert!(a.as_slice().fct_quantile(0.5) > 0.4);
+    }
+
+    #[test]
+    fn jqos_assistance_shrinks_the_tail() {
+        let transfers = 120;
+        let plain = run_web_transfers(&WebExperimentConfig::google_study(
+            transfers,
+            JqosAssist::None,
+            21,
+        ));
+        let assist = JqosAssist::FullDuplication {
+            extra_delay: Dur::from_millis(60),
+        };
+        let mut cfg = WebExperimentConfig::google_study(transfers, assist, 21);
+        cfg.assist = assist;
+        let helped = run_web_transfers(&cfg);
+
+        let plain_p99 = plain.as_slice().fct_quantile(0.99);
+        let helped_p99 = helped.as_slice().fct_quantile(0.99);
+        assert!(
+            helped_p99 < plain_p99,
+            "J-QoS p99 {helped_p99}s should beat plain TCP p99 {plain_p99}s"
+        );
+        // The typical (median) transfer is never hurt by the assistance.
+        let plain_p50 = plain.as_slice().fct_quantile(0.5);
+        let helped_p50 = helped.as_slice().fct_quantile(0.5);
+        assert!(helped_p50 <= plain_p50 + 0.2, "median got worse: {helped_p50} vs {plain_p50}");
+    }
+
+    #[test]
+    fn recovery_extra_delay_derives_from_topology() {
+        // y + 4δ_r = 160 ms total; the relay's links already contribute
+        // δ_s + δ_r = 30 ms, so the relay holds packets for 130 ms.
+        let config = WebExperimentConfig::google_study(1, JqosAssist::None, 1);
+        assert_eq!(config.recovery_extra_delay(), Dur::from_millis(130));
+    }
+}

@@ -1,0 +1,21 @@
+//! # transport — a miniature TCP over `netsim` for the web-transfer case study
+//!
+//! §6.4 of the paper studies how J-QoS interacts with TCP's own reliability
+//! and congestion control: short web transfers (12 B request, 50 KB response)
+//! over a 200 ms-RTT path with the Google study's bursty loss model suffer a
+//! long tail of flow-completion times caused by retransmission timeouts —
+//! especially for SYN-ACK and tail losses — and J-QoS removes most of that
+//! tail by recovering the lost segments through the cloud and letting the
+//! receiver ACK them immediately ("effectively hiding the loss").
+//!
+//! The [`minitcp`] module implements the sender/receiver state machines
+//! (slow start, congestion avoidance, RTO with exponential backoff, fast
+//! retransmit, SACK-style recovery) as simulator nodes, and [`harness`] runs
+//! batches of transfers with and without J-QoS assistance to reproduce
+//! Figure 9(b).
+
+pub mod harness;
+pub mod minitcp;
+
+pub use harness::{run_web_transfers, TransferResult, WebExperimentConfig};
+pub use minitcp::{JqosAssist, TcpConfig};

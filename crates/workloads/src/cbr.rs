@@ -1,0 +1,168 @@
+//! Constant-bitrate probe streams with ON/OFF periods (§6.2.1).
+//!
+//! "We run a simple constant bitrate application on the PlanetLab nodes.  To
+//! observe long-term time-averaged behaviour without overloading the paths,
+//! we use ON/OFF periods with Poisson OFF times and constant ON times.  In
+//! each ON interval, we send packets for 5 minutes; we set the mean OFF time
+//! to be 55 minutes."
+//!
+//! Experiments that cannot afford month-long simulated time scale both
+//! periods down with [`OnOffCbrSource::scaled`]; the duty cycle and packet
+//! rate are preserved, so loss-episode statistics are unaffected.
+
+use jqos_core::nodes::source::TrafficSource;
+use netsim::rng::sample_exponential;
+use netsim::Dur;
+use rand::rngs::SmallRng;
+
+/// Configuration of the ON/OFF CBR source.
+#[derive(Clone, Copy, Debug)]
+pub struct OnOffConfig {
+    /// Gap between packets during an ON interval.
+    pub packet_interval: Dur,
+    /// Payload size of each packet in bytes.
+    pub payload: usize,
+    /// Length of each ON interval.
+    pub on_duration: Dur,
+    /// Mean of the exponentially distributed OFF interval.
+    pub mean_off: Dur,
+    /// Stop after this many ON intervals (`None` = unbounded).
+    pub max_on_intervals: Option<u32>,
+}
+
+impl OnOffConfig {
+    /// The deployment configuration from §6.2.1: 5-minute ON intervals,
+    /// 55-minute mean OFF time, 512-byte packets at 50 packets/s.
+    pub fn planetlab() -> Self {
+        OnOffConfig {
+            packet_interval: Dur::from_millis(20),
+            payload: 512,
+            on_duration: Dur::from_secs(5 * 60),
+            mean_off: Dur::from_secs(55 * 60),
+            max_on_intervals: None,
+        }
+    }
+}
+
+/// The ON/OFF constant-bitrate source.
+#[derive(Clone, Debug)]
+pub struct OnOffCbrSource {
+    config: OnOffConfig,
+    packets_per_on: u64,
+    sent_in_interval: u64,
+    intervals_done: u32,
+}
+
+impl OnOffCbrSource {
+    /// Creates a source from a configuration.
+    pub fn new(config: OnOffConfig) -> Self {
+        let packets_per_on =
+            (config.on_duration.as_micros() / config.packet_interval.as_micros().max(1)).max(1);
+        OnOffCbrSource {
+            config,
+            packets_per_on,
+            sent_in_interval: 0,
+            intervals_done: 0,
+        }
+    }
+
+    /// The paper's deployment configuration, scaled in time by `1/scale`
+    /// (e.g. `scale = 60` turns 5-minute ON periods into 5-second ones) and
+    /// bounded to `intervals` ON periods.  The packet rate inside an ON
+    /// period is unchanged, so burst/loss interactions are preserved.
+    pub fn scaled(scale: u64, intervals: u32) -> Self {
+        let base = OnOffConfig::planetlab();
+        OnOffCbrSource::new(OnOffConfig {
+            on_duration: base.on_duration / scale.max(1),
+            mean_off: base.mean_off / scale.max(1),
+            max_on_intervals: Some(intervals),
+            ..base
+        })
+    }
+
+    /// Number of packets emitted during each ON interval.
+    pub fn packets_per_interval(&self) -> u64 {
+        self.packets_per_on
+    }
+}
+
+impl TrafficSource for OnOffCbrSource {
+    fn next_packet(&mut self, rng: &mut SmallRng) -> Option<(Dur, usize)> {
+        if let Some(max) = self.config.max_on_intervals {
+            if self.intervals_done >= max {
+                return None;
+            }
+        }
+        if self.sent_in_interval < self.packets_per_on {
+            self.sent_in_interval += 1;
+            Some((self.config.packet_interval, self.config.payload))
+        } else {
+            // End of the ON interval: jump over an exponential OFF period.
+            self.intervals_done += 1;
+            if let Some(max) = self.config.max_on_intervals {
+                if self.intervals_done >= max {
+                    return None;
+                }
+            }
+            self.sent_in_interval = 1;
+            let off_ms = sample_exponential(rng, self.config.mean_off.as_millis_f64());
+            Some((
+                Dur::from_millis_f64(off_ms) + self.config.packet_interval,
+                self.config.payload,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::rng::component_rng;
+
+    #[test]
+    fn planetlab_on_interval_has_expected_packet_count() {
+        // 5 minutes at one packet per 20 ms = 15 000 packets per ON interval.
+        let s = OnOffCbrSource::new(OnOffConfig::planetlab());
+        assert_eq!(s.packets_per_interval(), 15_000);
+    }
+
+    #[test]
+    fn bounded_source_stops_after_the_configured_intervals() {
+        let mut rng = component_rng(1, 0);
+        let mut s = OnOffCbrSource::scaled(300, 2); // 1-second ON intervals
+        let per_interval = s.packets_per_interval();
+        let mut count = 0u64;
+        while s.next_packet(&mut rng).is_some() {
+            count += 1;
+            assert!(count < 10 * per_interval, "source failed to terminate");
+        }
+        assert_eq!(count, per_interval * 2);
+    }
+
+    #[test]
+    fn off_gaps_are_much_longer_than_packet_intervals() {
+        let mut rng = component_rng(2, 0);
+        let mut s = OnOffCbrSource::scaled(60, 3);
+        let per_interval = s.packets_per_interval();
+        let mut gaps = vec![];
+        for _ in 0..(per_interval * 2 + 2) {
+            if let Some((gap, _)) = s.next_packet(&mut rng) {
+                gaps.push(gap);
+            }
+        }
+        let long_gaps: Vec<&Dur> = gaps.iter().filter(|g| **g > Dur::from_secs(1)).collect();
+        assert!(!long_gaps.is_empty(), "an OFF gap should appear between ON intervals");
+        // Scaled mean OFF time is 55 s; the sampled gap should be in a broadly
+        // plausible range around that.
+        assert!(long_gaps.iter().all(|g| **g < Dur::from_secs(600)));
+    }
+
+    #[test]
+    fn payload_size_is_constant() {
+        let mut rng = component_rng(3, 0);
+        let mut s = OnOffCbrSource::scaled(300, 1);
+        while let Some((_, size)) = s.next_packet(&mut rng) {
+            assert_eq!(size, 512);
+        }
+    }
+}

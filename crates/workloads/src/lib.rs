@@ -1,0 +1,25 @@
+//! # workloads — application traffic models for the J-QoS evaluation
+//!
+//! The paper evaluates J-QoS with four kinds of application traffic; each has
+//! a module here:
+//!
+//! * [`cbr`] — the constant-bitrate probe streams with ON/OFF periods used by
+//!   the month-long PlanetLab deployment (§6.2.1: 5-minute ON intervals,
+//!   Poisson OFF times with a 55-minute mean);
+//! * [`video`] — an interactive video-conferencing source modelled on the
+//!   Skype case study (§6.3: 10–15 fps, 2–5 packets per frame, ≈1.5 Mbps,
+//!   optional application-level FEC);
+//! * [`web`] — the short TCP web transfers of §6.4 (12 B request, 50 KB
+//!   response, segmented at a typical MSS);
+//! * [`mobile`] — the cellular-access model of §6.5 (2–5 Mbps uplink,
+//!   50–100 ms RTT to the nearest cloud region, energy accounting).
+
+pub mod cbr;
+pub mod mobile;
+pub mod video;
+pub mod web;
+
+pub use cbr::OnOffCbrSource;
+pub use mobile::MobileProfile;
+pub use video::VideoSource;
+pub use web::WebTransferSpec;

@@ -1,0 +1,149 @@
+//! The cellular-access model of the mobile case study (§6.5).
+//!
+//! The paper surveys major US carriers and reports 2–5 Mbps typical uplink
+//! bandwidth, median pings of 50–60 ms to the big cloud providers with a
+//! 50–90th-percentile range of roughly 50–100 ms, and a negligible battery
+//! cost for duplicating a Skype call (≈20 mAh over a 20-minute call whether
+//! or not duplication is on).  [`MobileProfile`] packages those numbers and
+//! answers the case study's feasibility questions.
+
+use netsim::delay::DelaySpec;
+use netsim::loss::LossSpec;
+use netsim::{Dur, LinkSpec, Topology};
+
+/// A cellular access profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MobileProfile {
+    /// Uplink bandwidth in bits per second.
+    pub uplink_bps: u64,
+    /// Downlink bandwidth in bits per second.
+    pub downlink_bps: u64,
+    /// Median one-way latency from the device to the nearest cloud region.
+    pub median_dc_latency: Dur,
+    /// 90th-percentile one-way latency to the nearest cloud region.
+    pub p90_dc_latency: Dur,
+    /// Random loss on the cellular access link.
+    pub access_loss: f64,
+    /// Battery drain per transmitted megabyte, in mAh (derived from the ≈20
+    /// mAh / 20-minute-call observation).
+    pub mah_per_mb: f64,
+}
+
+impl MobileProfile {
+    /// A typical LTE connection as surveyed in §6.5.
+    pub fn lte_typical() -> Self {
+        MobileProfile {
+            uplink_bps: 5_000_000,
+            downlink_bps: 20_000_000,
+            // Median ping 50–60 ms => one-way ≈ 27 ms; p90 ≈ 100 ms RTT.
+            median_dc_latency: Dur::from_millis(27),
+            p90_dc_latency: Dur::from_millis(50),
+            access_loss: 0.002,
+            mah_per_mb: 0.09,
+        }
+    }
+
+    /// A constrained cellular uplink (the low end of the 2–5 Mbps survey).
+    pub fn lte_constrained() -> Self {
+        MobileProfile {
+            uplink_bps: 2_000_000,
+            ..MobileProfile::lte_typical()
+        }
+    }
+
+    /// The access-link spec toward the cloud (uplink direction), with jitter
+    /// between the median and the 90th percentile.
+    pub fn uplink_spec(&self) -> LinkSpec {
+        LinkSpec::with_delay(DelaySpec::UniformJitter {
+            base: self.median_dc_latency,
+            jitter: self.p90_dc_latency - self.median_dc_latency,
+        })
+        .loss(LossSpec::Bernoulli(self.access_loss))
+        .bandwidth(self.uplink_bps, 200)
+    }
+
+    /// Whether duplicating a stream of `stream_bps` onto the cloud path fits
+    /// within the uplink (the §6.5 question: 1.5 Mbps Skype × 2 ≈ 3 Mbps vs a
+    /// 2–5 Mbps uplink).
+    pub fn duplication_fits(&self, stream_bps: u64) -> bool {
+        stream_bps * 2 <= self.uplink_bps
+    }
+
+    /// Headroom left on the uplink after duplicating a stream (bits/s);
+    /// negative values are clamped to zero.
+    pub fn duplication_headroom_bps(&self, stream_bps: u64) -> u64 {
+        self.uplink_bps.saturating_sub(stream_bps * 2)
+    }
+
+    /// Battery drain of sending `megabytes` of data, in mAh.
+    pub fn battery_cost_mah(&self, megabytes: f64) -> f64 {
+        self.mah_per_mb * megabytes
+    }
+
+    /// Extra battery drain caused by duplicating a `stream_bps` stream for
+    /// `minutes` minutes, in mAh.  With the surveyed constants this is a few
+    /// mAh for a 20-minute call — the "negligible impact" finding of §6.5.
+    pub fn duplication_battery_cost_mah(&self, stream_bps: u64, minutes: f64) -> f64 {
+        let megabytes = stream_bps as f64 / 8.0 * minutes * 60.0 / 1_000_000.0;
+        self.battery_cost_mah(megabytes)
+    }
+
+    /// A J-QoS topology for a mobile sender: a wide-area Internet path whose
+    /// sender-side segments are constrained by the cellular uplink.
+    pub fn topology(&self, internet_loss: LossSpec) -> Topology {
+        let mut t = Topology::wide_area(internet_loss);
+        t.sender_dc1 = self.uplink_spec();
+        t.internet = t.internet.bandwidth(self.uplink_bps, 200);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skype_duplication_fits_a_typical_lte_uplink() {
+        let lte = MobileProfile::lte_typical();
+        assert!(lte.duplication_fits(1_500_000));
+        assert_eq!(lte.duplication_headroom_bps(1_500_000), 2_000_000);
+    }
+
+    #[test]
+    fn skype_duplication_can_saturate_a_constrained_uplink() {
+        // 3 Mbps of duplicated HD video does not fit a 2 Mbps uplink — the
+        // case where §6.5 recommends selective duplication instead.
+        let lte = MobileProfile::lte_constrained();
+        assert!(!lte.duplication_fits(1_500_000));
+        assert_eq!(lte.duplication_headroom_bps(1_500_000), 0);
+    }
+
+    #[test]
+    fn battery_cost_of_duplication_is_negligible() {
+        let lte = MobileProfile::lte_typical();
+        // Duplicating a 1.5 Mbps call for 20 minutes.
+        let cost = lte.duplication_battery_cost_mah(1_500_000, 20.0);
+        assert!(cost < 25.0, "duplication cost {cost} mAh");
+        assert!(cost > 1.0, "cost should be non-zero, got {cost}");
+    }
+
+    #[test]
+    fn dc_latency_range_matches_survey() {
+        let lte = MobileProfile::lte_typical();
+        let median_rtt = lte.median_dc_latency.as_millis_f64() * 2.0;
+        let p90_rtt = lte.p90_dc_latency.as_millis_f64() * 2.0;
+        assert!((50.0..=60.0).contains(&median_rtt), "median rtt {median_rtt}");
+        assert!((90.0..=110.0).contains(&p90_rtt), "p90 rtt {p90_rtt}");
+    }
+
+    #[test]
+    fn uplink_spec_carries_bandwidth_cap_and_jitter() {
+        let lte = MobileProfile::lte_typical();
+        let spec = lte.uplink_spec();
+        assert_eq!(spec.bandwidth_bps, Some(5_000_000));
+        assert!(matches!(spec.delay, DelaySpec::UniformJitter { .. }));
+        let topo = lte.topology(LossSpec::Bernoulli(0.01));
+        assert_eq!(topo.sender_dc1.bandwidth_bps, Some(5_000_000));
+        assert_eq!(topo.internet.bandwidth_bps, Some(5_000_000));
+    }
+}

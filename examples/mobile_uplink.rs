@@ -1,0 +1,73 @@
+//! The mobile-networks case study (§6.5) as a runnable example.
+//!
+//! Checks whether a phone on an LTE uplink can afford to duplicate its video
+//! stream to the cloud (bandwidth and battery), and runs a short call over
+//! the cellular topology to confirm recovery still works despite the higher
+//! and more variable latency to the nearest DC.
+//!
+//! Run with: `cargo run --release --example mobile_uplink`
+
+use jqos_core::prelude::*;
+use workloads::mobile::MobileProfile;
+use workloads::video::{VideoConfig, VideoSource};
+
+fn main() {
+    println!("Mobile case study: duplicating a video call from an LTE uplink\n");
+
+    for (label, profile) in [
+        ("typical LTE (5 Mbps uplink)", MobileProfile::lte_typical()),
+        ("constrained LTE (2 Mbps uplink)", MobileProfile::lte_constrained()),
+    ] {
+        let fits = profile.duplication_fits(VideoConfig::HD_RECOMMENDED_BPS);
+        let battery = profile.duplication_battery_cost_mah(VideoConfig::HD_RECOMMENDED_BPS, 20.0);
+        println!("  {label}:");
+        println!(
+            "    duplicating a 1.5 Mbps HD call needs 3.0 Mbps of uplink -> {}",
+            if fits { "fits" } else { "does not fit; duplicate selectively instead" }
+        );
+        println!("    extra battery over a 20-minute call: {battery:.1} mAh");
+        println!(
+            "    RTT to the nearest cloud region: median {:.0} ms, p90 {:.0} ms",
+            profile.median_dc_latency.as_millis_f64() * 2.0,
+            profile.p90_dc_latency.as_millis_f64() * 2.0
+        );
+    }
+
+    println!("\nRunning a 40 s call over the cellular topology with a 10 s outage...");
+    let lte = MobileProfile::lte_typical();
+    let duration = Dur::from_secs(40);
+    let topology = lte.topology(LossSpec::Compound(vec![
+        LossSpec::bursty(0.01, 4.0),
+        LossSpec::Outage(vec![(Time::from_secs(18), Time::from_secs(28))]),
+    ]));
+    let mut scenario = Scenario::new(65)
+        .with_topology(topology)
+        .with_coding(CodingParams::skype_case_study())
+        .add_flow(
+            ServiceKind::Coding,
+            Box::new(VideoSource::new(VideoConfig::skype_call_with_fec(duration))),
+        );
+    for _ in 0..3 {
+        scenario = scenario.add_flow_with_path(
+            ServiceKind::Coding,
+            Box::new(VideoSource::new(VideoConfig::background_200kbps(duration))),
+            LinkSpec::symmetric(Dur::from_millis(70)).loss(LossSpec::Bernoulli(0.002)),
+        );
+    }
+    let report = scenario.run(duration + Dur::from_secs(2));
+    let flow = &report.flows[0];
+    println!(
+        "  lost {} packets on the direct path, recovered {} ({:.0}%) through the nearby DC",
+        flow.lost_on_direct(),
+        flow.recovered(),
+        flow.recovery_rate() * 100.0
+    );
+    println!(
+        "  end-to-end delivery: {:.1}%   cloud copies sent over the uplink: {}",
+        100.0 * flow.delivered() as f64 / flow.sent().max(1) as f64,
+        flow.cloud_copies
+    );
+    println!("\nConclusion (as in §6.5): duplication is feasible on a typical LTE uplink, its");
+    println!("battery cost is negligible, and recovery still works despite cellular latencies —");
+    println!("but constrained uplinks should fall back to selective duplication.");
+}

@@ -1,0 +1,21 @@
+//! A tiny CLI that prints the workspace layout and how to regenerate every
+//! figure of the paper.  The real entry points are the examples and the
+//! `jqos-bench` binaries.
+
+fn main() {
+    println!("J-QoS: Judicious QoS using Cloud Overlays — Rust reproduction");
+    println!();
+    println!("Examples (cargo run --example <name>):");
+    println!("  quickstart        compare Internet / caching / coding on a lossy WAN path");
+    println!("  skype_conference  video-conferencing QoE during an outage (§6.3)");
+    println!("  web_transfer      TCP flow-completion-time tail (§6.4)");
+    println!("  multicast_cache   hybrid multicast + mobility use cases (Fig. 3)");
+    println!("  mobile_uplink     cellular feasibility study (§6.5)");
+    println!("  live_relay        tokio UDP relay + endpoints on loopback (§5 prototype)");
+    println!();
+    println!("Figure regeneration (cargo run --release -p jqos-bench --bin <name>):");
+    println!("  fig7_feasibility, fig8_crwan, fig9a_skype, fig9b_tcp, fig10_scaling,");
+    println!("  sec65_mobile, sec66_cost   (set JQOS_QUICK=1 for a fast pass)");
+    println!();
+    println!("Criterion benches: cargo bench -p jqos-bench");
+}

@@ -1,0 +1,135 @@
+//! Integration tests spanning the whole workspace: simulator + J-QoS core +
+//! workloads + measurements, exercised the same way the figure binaries do.
+
+use jqos::core::coding::params::CodingParams;
+use jqos::core::nodes::receiver::DeliveryMethod;
+use jqos::prelude::*;
+use measurements::planetlab::planetlab_paths;
+use workloads::cbr::OnOffCbrSource;
+use workloads::video::{VideoConfig, VideoSource};
+
+/// The headline CR-WAN behaviour on a PlanetLab-like path: most direct-path
+/// losses are recovered through the cloud, and recovery is fast relative to
+/// the RTT.
+#[test]
+fn crwan_recovers_most_losses_on_a_planetlab_path() {
+    let path = &planetlab_paths(2020)[3];
+    let topology = Topology::lossless(
+        Dur::from_millis_f64(path.y_ms),
+        Dur::from_millis_f64(path.delta_s_ms),
+        Dur::from_millis_f64(path.x_ms),
+        Dur::from_millis_f64(path.delta_r_ms),
+    )
+    .internet_loss(LossSpec::bursty(0.01, 4.0));
+
+    let mut scenario = Scenario::new(100)
+        .with_topology(topology)
+        .with_coding(CodingParams::planetlab_defaults());
+    for _ in 0..6 {
+        scenario = scenario.add_flow(
+            ServiceKind::Coding,
+            Box::new(CbrSource::new(Dur::from_millis(20), 512, 1_500)),
+        );
+    }
+    let report = scenario.run(Dur::from_secs(40));
+
+    let lost: usize = report.flows.iter().map(|f| f.lost_on_direct()).sum();
+    assert!(lost > 50, "the lossy path should drop a noticeable number of packets, got {lost}");
+    assert!(
+        report.overall_recovery_rate() > 0.75,
+        "CR-WAN should recover most losses, got {:.2}",
+        report.overall_recovery_rate()
+    );
+    assert!(report.dc2.coop_recovered > 0, "recovery must go through cooperative decoding");
+    // Judicious use of the cloud: far less WAN traffic than full duplication.
+    assert!(
+        report.coding_overhead() < 0.9,
+        "coding overhead should stay below duplication, got {:.2}",
+        report.coding_overhead()
+    );
+}
+
+/// The forwarding service masks a complete outage of the direct path, which
+/// is the property behind the Skype case study's "Fwd" curve.
+#[test]
+fn forwarding_masks_an_outage_end_to_end() {
+    let outage = LossSpec::Outage(vec![(Time::from_secs(3), Time::from_secs(20))]);
+    let report = Scenario::new(101)
+        .with_topology(Topology::wide_area(outage))
+        .add_flow(
+            ServiceKind::Forwarding,
+            Box::new(VideoSource::new(VideoConfig::skype_call(Dur::from_secs(25)))),
+        )
+        .run(Dur::from_secs(27));
+    let flow = &report.flows[0];
+    assert_eq!(flow.unrecovered(), 0, "every packet must arrive via the overlay");
+    assert!(flow.delivered_cloud() > 100);
+    // And the cloud-forwarded copies are genuinely attributed to the overlay.
+    assert!(flow
+        .packets
+        .iter()
+        .any(|p| p.method == Some(DeliveryMethod::CloudForwarded)));
+}
+
+/// Service selection picks the cheapest service that meets the latency
+/// budget, across the whole RIPE-Atlas-style path set.
+#[test]
+fn service_selection_is_monotone_in_the_budget() {
+    for path in measurements::ripe::ripe_atlas_paths(50, 5) {
+        let delays = PathDelays {
+            y: Dur::from_millis_f64(path.y_ms),
+            delta_s: Dur::from_millis_f64(path.delta_s_ms),
+            x: Dur::from_millis_f64(path.x_ms),
+            delta_r: Dur::from_millis_f64(path.delta_r_ms),
+            delta_median: Dur::from_millis_f64(path.delta_median_ms),
+        };
+        let selector = ServiceSelector::new(delays);
+        let mut previous_cost = f64::INFINITY;
+        // As the budget grows the selected service can only get cheaper.
+        for budget_ms in [40u64, 80, 120, 200, 400] {
+            let selection = selector.select(Registration {
+                latency_budget: Dur::from_millis(budget_ms),
+                loss_tolerant: false,
+            });
+            let cost = selection.service.relative_cost(0.33);
+            assert!(
+                cost <= previous_cost + 1e-12,
+                "budget {budget_ms} ms picked a more expensive service ({})",
+                selection.service
+            );
+            previous_cost = cost;
+        }
+    }
+}
+
+/// The ON/OFF CBR workload and the scenario harness together produce
+/// reproducible reports for a fixed seed.
+#[test]
+fn scenario_reports_are_deterministic() {
+    let run = || {
+        let report = Scenario::new(77)
+            .with_topology(Topology::wide_area(LossSpec::Bernoulli(0.02)))
+            .add_flow(ServiceKind::Caching, Box::new(OnOffCbrSource::scaled(300, 1)))
+            .run(Dur::from_secs(10));
+        let f = &report.flows[0];
+        (f.sent(), f.delivered(), f.recovered(), f.nacks_sent)
+    };
+    assert_eq!(run(), run());
+}
+
+/// Selective duplication sends far fewer bytes to the cloud while still
+/// recovering the packets it covers (the §6.4/§6.5 strategy).
+#[test]
+fn selective_duplication_reduces_cloud_traffic() {
+    let make = |policy: PathPolicy| {
+        Scenario::new(55)
+            .with_topology(Topology::wide_area(LossSpec::Bernoulli(0.01)))
+            .add_flow(ServiceKind::Caching, Box::new(CbrSource::new(Dur::from_millis(10), 800, 1_000)))
+            .with_policy(policy)
+            .run(Dur::from_secs(15))
+    };
+    let full = make(PathPolicy::for_service(ServiceKind::Caching));
+    let selective = make(PathPolicy::selective(8));
+    assert!(selective.flows[0].cloud_bytes * 6 < full.flows[0].cloud_bytes);
+    assert!(full.flows[0].recovery_rate() > 0.9);
+}

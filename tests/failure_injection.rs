@@ -1,0 +1,120 @@
+//! Failure-injection integration tests: the reliability services must behave
+//! sensibly when the helpers themselves misbehave (lossy access links,
+//! straggling cooperators, NACK loss, long outages).
+
+use jqos::core::coding::params::CodingParams;
+use jqos::core::nodes::dc2::Dc2Config;
+use jqos::prelude::*;
+
+/// Even when the receiver↔DC2 access path loses packets (NACKs, cooperative
+/// responses and recovered packets can all be dropped), the system degrades
+/// gracefully instead of deadlocking, and straggler protection (two coded
+/// packets per batch) recovers more than a single coded packet does.
+#[test]
+fn lossy_access_paths_degrade_gracefully_and_straggler_protection_helps() {
+    let run = |cross_parity: usize| {
+        let topology = Topology::wide_area(LossSpec::bursty(0.02, 4.0))
+            .receiver_access_loss(LossSpec::Bernoulli(0.02));
+        let mut scenario = Scenario::new(200)
+            .with_topology(topology)
+            .with_coding(CodingParams {
+                cross_parity,
+                in_stream_enabled: false,
+                ..CodingParams::planetlab_defaults()
+            });
+        for _ in 0..6 {
+            scenario = scenario.add_flow(
+                ServiceKind::Coding,
+                Box::new(CbrSource::new(Dur::from_millis(20), 512, 1_000)),
+            );
+        }
+        scenario.run(Dur::from_secs(25))
+    };
+    let one = run(1);
+    let two = run(2);
+    // Nothing hangs and a sensible fraction still gets through in both cases.
+    assert!(one.overall_recovery_rate() > 0.3);
+    assert!(two.overall_recovery_rate() > one.overall_recovery_rate() - 0.05,
+        "two coded packets should not do worse: {:.2} vs {:.2}",
+        two.overall_recovery_rate(), one.overall_recovery_rate());
+    // Some cooperative recoveries fail silently at the deadline, as §4.4 allows.
+    assert!(one.dc2.coop_failed + one.dc2.waiting_expired > 0);
+}
+
+/// A multi-second outage on the direct path: the coding service keeps pulling
+/// the stream through DC2, and residual loss stays far below the outage size.
+#[test]
+fn coding_service_survives_a_long_outage() {
+    let outage = LossSpec::Compound(vec![
+        LossSpec::Bernoulli(0.002),
+        LossSpec::Outage(vec![(Time::from_secs(6), Time::from_secs(9))]),
+    ]);
+    // Only the measured flow's Internet path suffers the outage; the
+    // companion flows ride their own (independently lossy) paths, which is
+    // the diversity cross-stream coding depends on ("not all Internet paths
+    // experience losses at the same time", §1).
+    let mut scenario = Scenario::new(201)
+        .with_topology(Topology::wide_area(LossSpec::Bernoulli(0.002)))
+        .with_coding(CodingParams::planetlab_defaults())
+        .add_flow_with_path(
+            ServiceKind::Coding,
+            Box::new(CbrSource::new(Dur::from_millis(25), 512, 700)),
+            LinkSpec::symmetric(Dur::from_millis(75)).loss(outage),
+        );
+    for _ in 0..3 {
+        scenario = scenario.add_flow(
+            ServiceKind::Coding,
+            Box::new(CbrSource::new(Dur::from_millis(25), 512, 700)),
+        );
+    }
+    let report = scenario.run(Dur::from_secs(20));
+    let flow = &report.flows[0];
+    // The outage alone destroys ~120 packets on the direct path.
+    assert!(flow.lost_on_direct() > 100, "outage should hit the direct path");
+    assert!(
+        flow.residual_loss_rate() < 0.05,
+        "most of the outage must be repaired, residual {:.3}",
+        flow.residual_loss_rate()
+    );
+}
+
+/// Disabling the spurious-NACK check must not break recovery (it only trades
+/// some wasted recoveries for lower signalling latency).
+#[test]
+fn recovery_works_with_and_without_nack_checking() {
+    let run = |check: bool| {
+        Scenario::new(202)
+            .with_topology(Topology::wide_area(LossSpec::Bernoulli(0.02)))
+            .with_dc2(Dc2Config {
+                check_before_recovery: check,
+                ..Dc2Config::default()
+            })
+            .add_flow(ServiceKind::Caching, Box::new(CbrSource::new(Dur::from_millis(20), 400, 800)))
+            .run(Dur::from_secs(20))
+    };
+    let with_check = run(true);
+    let without_check = run(false);
+    assert!(with_check.flows[0].recovery_rate() > 0.85);
+    assert!(without_check.flows[0].recovery_rate() > 0.85);
+}
+
+/// An Internet-only flow over a clean path must not involve the cloud at all:
+/// judicious use means zero cloud cost when best effort is good enough.
+#[test]
+fn clean_paths_use_no_cloud_resources() {
+    let report = Scenario::new(203)
+        .with_topology(Topology::lossless(
+            Dur::from_millis(40),
+            Dur::from_millis(5),
+            Dur::from_millis(38),
+            Dur::from_millis(5),
+        ))
+        .add_flow(ServiceKind::InternetOnly, Box::new(CbrSource::new(Dur::from_millis(10), 512, 500)))
+        .run(Dur::from_secs(10));
+    let flow = &report.flows[0];
+    assert_eq!(flow.unrecovered(), 0);
+    assert_eq!(flow.cloud_copies, 0);
+    assert_eq!(report.dc1.packets_in, 0);
+    assert_eq!(report.dc2.nacks, 0);
+    assert_eq!(report.encoder.coded_packets, 0);
+}
