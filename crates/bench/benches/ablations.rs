@@ -28,13 +28,17 @@ fn bench_in_stream_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_in_stream");
     group.sample_size(10);
     for (label, in_stream) in [("cross_only", false), ("cross_plus_in_stream", true)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &in_stream, |b, &in_stream| {
-            let coding = CodingParams {
-                in_stream_enabled: in_stream,
-                ..CodingParams::planetlab_defaults()
-            };
-            b.iter(|| scenario_report(ServiceKind::Coding, coding, 11));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &in_stream,
+            |b, &in_stream| {
+                let coding = CodingParams {
+                    in_stream_enabled: in_stream,
+                    ..CodingParams::planetlab_defaults()
+                };
+                b.iter(|| scenario_report(ServiceKind::Coding, coding, 11));
+            },
+        );
     }
     group.finish();
 }
@@ -60,14 +64,18 @@ fn bench_straggler_protection(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_cross_parity");
     group.sample_size(10);
     for parity in [1usize, 2] {
-        group.bench_with_input(BenchmarkId::from_parameter(parity), &parity, |b, &parity| {
-            let coding = CodingParams {
-                cross_parity: parity,
-                in_stream_enabled: false,
-                ..CodingParams::planetlab_defaults()
-            };
-            b.iter(|| scenario_report(ServiceKind::Coding, coding, 17));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(parity),
+            &parity,
+            |b, &parity| {
+                let coding = CodingParams {
+                    cross_parity: parity,
+                    in_stream_enabled: false,
+                    ..CodingParams::planetlab_defaults()
+                };
+                b.iter(|| scenario_report(ServiceKind::Coding, coding, 17));
+            },
+        );
     }
     group.finish();
 }
@@ -75,7 +83,11 @@ fn bench_straggler_protection(c: &mut Criterion) {
 fn bench_service_comparison(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_service");
     group.sample_size(10);
-    for service in [ServiceKind::Caching, ServiceKind::Coding, ServiceKind::Forwarding] {
+    for service in [
+        ServiceKind::Caching,
+        ServiceKind::Coding,
+        ServiceKind::Forwarding,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(service.to_string()),
             &service,

@@ -12,15 +12,19 @@ fn bench_encoding_threads(c: &mut Criterion) {
     group.throughput(Throughput::Elements(packets_per_iter));
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            let engine = EncodingEngine::new(EngineConfig {
-                threads,
-                block_size: 5,
-                parity: 1,
-                packet_bytes: 512,
-            });
-            b.iter(|| engine.run(packets_per_iter));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let engine = EncodingEngine::new(EngineConfig {
+                    threads,
+                    block_size: 5,
+                    parity: 1,
+                    packet_bytes: 512,
+                });
+                b.iter(|| engine.run(packets_per_iter));
+            },
+        );
     }
     group.finish();
 }

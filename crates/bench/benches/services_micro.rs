@@ -20,18 +20,26 @@ fn bench_reed_solomon(c: &mut Criterion) {
         let rs = ReedSolomon::new(k, m).unwrap();
         let data: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8; 512]).collect();
         group.throughput(Throughput::Bytes((k * 512) as u64));
-        group.bench_with_input(BenchmarkId::new("encode", format!("k{k}m{m}")), &(), |b, _| {
-            b.iter(|| rs.encode(&data).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("k{k}m{m}")),
+            &(),
+            |b, _| {
+                b.iter(|| rs.encode(&data).unwrap());
+            },
+        );
         let all = rs.encode_all(&data).unwrap();
-        group.bench_with_input(BenchmarkId::new("reconstruct", format!("k{k}m{m}")), &(), |b, _| {
-            b.iter(|| {
-                let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
-                shards[1] = None;
-                rs.reconstruct_data(&mut shards).unwrap();
-                shards
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct", format!("k{k}m{m}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+                    shards[1] = None;
+                    rs.reconstruct_data(&mut shards).unwrap();
+                    shards
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -43,7 +43,11 @@ fn main() {
         if threads == 1 {
             base_kpps = ingress_kpps;
         }
-        let speedup = if base_kpps > 0.0 { ingress_kpps / base_kpps } else { 0.0 };
+        let speedup = if base_kpps > 0.0 {
+            ingress_kpps / base_kpps
+        } else {
+            0.0
+        };
         println!(
             "  {:>8} {:>16.1} {:>16.1} {:>9.2}x",
             threads, ingress_kpps, egress_kpps, speedup

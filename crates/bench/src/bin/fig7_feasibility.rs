@@ -19,14 +19,22 @@ fn main() {
     section("Figure 7(a): end-to-end delivery latency (ms)");
     let fig7a = vec![
         Series::from_samples("Internet", paths.iter().map(|p| p.y_ms).collect()),
-        Series::from_samples("Forwarding", paths.iter().map(|p| p.forwarding_ms()).collect()),
+        Series::from_samples(
+            "Forwarding",
+            paths.iter().map(|p| p.forwarding_ms()).collect(),
+        ),
         Series::from_samples("Caching", paths.iter().map(|p| p.caching_ms()).collect()),
         Series::from_samples("Coding", paths.iter().map(|p| p.coding_ms()).collect()),
     ];
     for s in &fig7a {
         s.print_row();
     }
-    let coding_p95 = fig7a[3].percentiles.iter().find(|(q, _)| *q == 0.95).unwrap().1;
+    let coding_p95 = fig7a[3]
+        .percentiles
+        .iter()
+        .find(|(q, _)| *q == 0.95)
+        .unwrap()
+        .1;
     println!("  -> coding p95 = {coding_p95:.1} ms (paper: caching/coding within 150 ms for 95% of paths)");
     write_json("fig7a_delivery_latency", &fig7a);
 
@@ -34,7 +42,10 @@ fn main() {
     let fig7b = vec![
         Series::from_samples(
             "Caching",
-            paths.iter().map(|p| p.caching_recovery_fraction()).collect(),
+            paths
+                .iter()
+                .map(|p| p.caching_recovery_fraction())
+                .collect(),
         ),
         Series::from_samples(
             "Coding",
@@ -45,7 +56,12 @@ fn main() {
         s.print_row();
     }
     let frac = |series: &Series, x: f64| {
-        series.cdf.iter().filter(|(v, _)| *v <= x).map(|(_, f)| *f).fold(0.0, f64::max)
+        series
+            .cdf
+            .iter()
+            .filter(|(v, _)| *v <= x)
+            .map(|(_, f)| *f)
+            .fold(0.0, f64::max)
     };
     println!(
         "  -> caching within 0.25 RTT: {:.0}%   coding within 0.25 RTT: {:.0}% (paper: ~70% vs ~10%)",

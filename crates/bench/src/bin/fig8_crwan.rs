@@ -165,8 +165,13 @@ fn main() {
     section("Figure 8(a): per-path recovery success rate (CCDF)");
     let rates: Vec<f64> = results.iter().map(|r| r.recovery_rate * 100.0).collect();
     Series::from_samples("recovery success rate (%)", rates.clone()).print_row();
-    let overall = if total_lost == 0 { 1.0 } else { total_recovered as f64 / total_lost as f64 };
-    let paths_over_80 = rates.iter().filter(|r| **r > 80.0).count() as f64 / rates.len().max(1) as f64;
+    let overall = if total_lost == 0 {
+        1.0
+    } else {
+        total_recovered as f64 / total_lost as f64
+    };
+    let paths_over_80 =
+        rates.iter().filter(|r| **r > 80.0).count() as f64 / rates.len().max(1) as f64;
     println!(
         "  -> overall recovery of direct-path losses: {:.1}% (paper: 78%)",
         overall * 100.0
@@ -184,9 +189,24 @@ fn main() {
     section("Figure 8(b): loss-episode contribution on paths with >80% recovery");
     let good: Vec<&PathResult> = results.iter().filter(|r| r.recovery_rate > 0.8).collect();
     let series_8b = vec![
-        Series::from_samples("Random", good.iter().map(|r| r.episode_contribution.0 * 100.0).collect()),
-        Series::from_samples("Multi", good.iter().map(|r| r.episode_contribution.1 * 100.0).collect()),
-        Series::from_samples("Outage", good.iter().map(|r| r.episode_contribution.2 * 100.0).collect()),
+        Series::from_samples(
+            "Random",
+            good.iter()
+                .map(|r| r.episode_contribution.0 * 100.0)
+                .collect(),
+        ),
+        Series::from_samples(
+            "Multi",
+            good.iter()
+                .map(|r| r.episode_contribution.1 * 100.0)
+                .collect(),
+        ),
+        Series::from_samples(
+            "Outage",
+            good.iter()
+                .map(|r| r.episode_contribution.2 * 100.0)
+                .collect(),
+        ),
     ];
     for s in &series_8b {
         s.print_row();
@@ -196,13 +216,25 @@ fn main() {
         .filter(|r| r.episode_contribution.2 > 0.0)
         .count() as f64
         / results.len().max(1) as f64;
-    println!("  -> paths that saw outages: {:.0}% (paper: 45%)", outage_paths * 100.0);
+    println!(
+        "  -> paths that saw outages: {:.0}% (paper: 45%)",
+        outage_paths * 100.0
+    );
 
     section("Figure 8(c): % increase in recovery, CR-WAN vs on-path FEC");
     let series_8c = vec![
-        Series::from_samples("vs 20% FEC", results.iter().map(|r| r.fec_increase_20).collect()),
-        Series::from_samples("vs 40% FEC", results.iter().map(|r| r.fec_increase_40).collect()),
-        Series::from_samples("vs 100% FEC", results.iter().map(|r| r.fec_increase_100).collect()),
+        Series::from_samples(
+            "vs 20% FEC",
+            results.iter().map(|r| r.fec_increase_20).collect(),
+        ),
+        Series::from_samples(
+            "vs 40% FEC",
+            results.iter().map(|r| r.fec_increase_40).collect(),
+        ),
+        Series::from_samples(
+            "vs 100% FEC",
+            results.iter().map(|r| r.fec_increase_100).collect(),
+        ),
     ];
     for s in &series_8c {
         s.print_row();
@@ -227,7 +259,8 @@ fn main() {
     for s in &series_8d {
         s.print_row();
     }
-    let within_half = aggregate.iter().filter(|f| **f <= 0.5).count() as f64 / aggregate.len().max(1) as f64;
+    let within_half =
+        aggregate.iter().filter(|f| **f <= 0.5).count() as f64 / aggregate.len().max(1) as f64;
     println!(
         "  -> recoveries within 0.5 RTT: {:.0}% (paper: 95%)",
         within_half * 100.0
@@ -239,14 +272,19 @@ fn main() {
         .zip(&one_coded_rates)
         .map(|(two, one)| {
             if *one <= 0.0 {
-                if two.recovery_rate > 0.0 { 100.0 } else { 0.0 }
+                if two.recovery_rate > 0.0 {
+                    100.0
+                } else {
+                    0.0
+                }
             } else {
                 ((two.recovery_rate - one) / one * 100.0).max(0.0)
             }
         })
         .collect();
     Series::from_samples("improvement (%)", improvements.clone()).print_row();
-    let over_10 = improvements.iter().filter(|i| **i > 10.0).count() as f64 / improvements.len().max(1) as f64;
+    let over_10 = improvements.iter().filter(|i| **i > 10.0).count() as f64
+        / improvements.len().max(1) as f64;
     println!(
         "  -> paths improving by >10%: {:.0}% (paper: 60% of paths)",
         over_10 * 100.0

@@ -20,7 +20,7 @@
 
 use jqos_bench::harness::{section, sized, write_json, Series};
 use jqos_core::prelude::*;
-use qoe::{frames_from_packet_flags, fraction_below, PsnrModel};
+use qoe::{fraction_below, frames_from_packet_flags, PsnrModel};
 use serde::Serialize;
 use workloads::mobile::MobileProfile;
 use workloads::video::{VideoConfig, VideoSource};
@@ -48,14 +48,17 @@ fn outage_loss(call_secs: u64) -> LossSpec {
     let start = call_secs / 2;
     LossSpec::Compound(vec![
         LossSpec::Bernoulli(0.001),
-        LossSpec::Outage(vec![(
-            Time::from_secs(start),
-            Time::from_secs(start + 30),
-        )]),
+        LossSpec::Outage(vec![(Time::from_secs(start), Time::from_secs(start + 30))]),
     ])
 }
 
-fn run_call(label: &str, service: ServiceKind, mobile: bool, call_secs: u64, seed: u64) -> RunOutput {
+fn run_call(
+    label: &str,
+    service: ServiceKind,
+    mobile: bool,
+    call_secs: u64,
+    seed: u64,
+) -> RunOutput {
     let topology = if mobile {
         MobileProfile::lte_typical().topology(outage_loss(call_secs))
     } else {
@@ -97,7 +100,11 @@ fn run_call(label: &str, service: ServiceKind, mobile: bool, call_secs: u64, see
     // Frame outcomes: a packet counts if it arrived within an interactive
     // playout budget (400 ms one-way).
     let budget = Dur::from_millis(400);
-    let flags: Vec<bool> = flow.packets.iter().map(|p| p.delivered_within(budget)).collect();
+    let flags: Vec<bool> = flow
+        .packets
+        .iter()
+        .map(|p| p.delivered_within(budget))
+        .collect();
     let frames = frames_from_packet_flags(&flags, PACKETS_PER_FRAME);
     let scores = PsnrModel::default().score_frames(&frames, seed);
 
@@ -121,7 +128,13 @@ fn main() {
     let seed = 31;
 
     let runs = vec![
-        run_call("Internet", ServiceKind::InternetOnly, false, call_secs, seed),
+        run_call(
+            "Internet",
+            ServiceKind::InternetOnly,
+            false,
+            call_secs,
+            seed,
+        ),
         run_call("Fwd", ServiceKind::Forwarding, false, call_secs, seed),
         run_call("CR-WAN", ServiceKind::Coding, false, call_secs, seed),
         run_call("CR-WAN-Mobile", ServiceKind::Coding, true, call_secs, seed),

@@ -98,7 +98,10 @@ fn count_detector_timeouts(config: DetectorConfig) -> u64 {
         }
         // Idle gap between transfers.
         now += Dur::from_secs(2);
-        debug_assert!(matches!(detector.state(), DetectorState::Idle | DetectorState::Burst));
+        debug_assert!(matches!(
+            detector.state(),
+            DetectorState::Idle | DetectorState::Burst
+        ));
     }
     nacks
 }
@@ -112,13 +115,17 @@ fn main() {
     let (mut internet, internet_fcts) = run_mode("Internet", JqosAssist::None, transfers, seed);
     let (mut crwan, crwan_fcts) = run_mode(
         "CR-WAN (full dup)",
-        JqosAssist::FullDuplication { extra_delay: assist_delay },
+        JqosAssist::FullDuplication {
+            extra_delay: assist_delay,
+        },
         transfers,
         seed,
     );
     let (mut selective, selective_fcts) = run_mode(
         "Selective (SYN-ACK)",
-        JqosAssist::SelectiveSynAck { extra_delay: assist_delay },
+        JqosAssist::SelectiveSynAck {
+            extra_delay: assist_delay,
+        },
         transfers,
         seed,
     );
@@ -135,7 +142,14 @@ fn main() {
     for r in &rows {
         println!(
             "  {:<22} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>11.0}% {:>10}",
-            r.label, r.p50_s, r.p90_s, r.p99_s, r.p999_s, r.max_s, r.tail_reduction_vs_internet_pct, r.timeouts
+            r.label,
+            r.p50_s,
+            r.p90_s,
+            r.p99_s,
+            r.p999_s,
+            r.max_s,
+            r.tail_reduction_vs_internet_pct,
+            r.timeouts
         );
     }
     println!(

@@ -34,7 +34,10 @@ fn main() {
     section("§6.5: duplication bandwidth feasibility");
     let profiles = [
         ("typical LTE (5 Mbps up)", MobileProfile::lte_typical()),
-        ("constrained LTE (2 Mbps up)", MobileProfile::lte_constrained()),
+        (
+            "constrained LTE (2 Mbps up)",
+            MobileProfile::lte_constrained(),
+        ),
     ];
     for (label, p) in &profiles {
         let fits = p.duplication_fits(VideoConfig::HD_RECOMMENDED_BPS);
@@ -42,7 +45,11 @@ fn main() {
             "  {:<28} duplicated HD call needs {:.1} Mbps -> {}",
             label,
             2.0 * VideoConfig::HD_RECOMMENDED_BPS as f64 / 1e6,
-            if fits { "fits" } else { "does NOT fit (use selective duplication)" }
+            if fits {
+                "fits"
+            } else {
+                "does NOT fit (use selective duplication)"
+            }
         );
     }
 
@@ -95,7 +102,9 @@ fn main() {
     let out = MobileReport {
         uplink_mbps: lte.uplink_bps as f64 / 1e6,
         duplication_fits_hd: lte.duplication_fits(VideoConfig::HD_RECOMMENDED_BPS),
-        duplication_headroom_mbps: lte.duplication_headroom_bps(VideoConfig::HD_RECOMMENDED_BPS) as f64 / 1e6,
+        duplication_headroom_mbps: lte.duplication_headroom_bps(VideoConfig::HD_RECOMMENDED_BPS)
+            as f64
+            / 1e6,
         battery_cost_20min_call_mah: cost,
         median_dc_rtt_ms: lte.median_dc_latency.as_millis_f64() * 2.0,
         p90_dc_rtt_ms: lte.p90_dc_latency.as_millis_f64() * 2.0,

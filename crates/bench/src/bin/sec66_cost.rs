@@ -75,15 +75,27 @@ fn main() {
         // Every stream sees the Google burst-loss process on its own path.
         scenario = scenario.add_flow_with_path(
             ServiceKind::Coding,
-            Box::new(CbrSource::new(Dur::from_millis(20), 512, (duration.as_secs_f64() * 50.0) as u64)),
-            LinkSpec::symmetric(Dur::from_millis(95 + (i as u64 % 5)))
-                .loss(LossSpec::GoogleBurst { p_first: 0.01, p_next: 0.5 }),
+            Box::new(CbrSource::new(
+                Dur::from_millis(20),
+                512,
+                (duration.as_secs_f64() * 50.0) as u64,
+            )),
+            LinkSpec::symmetric(Dur::from_millis(95 + (i as u64 % 5))).loss(
+                LossSpec::GoogleBurst {
+                    p_first: 0.01,
+                    p_next: 0.5,
+                },
+            ),
         );
     }
     let report = scenario.run(duration + Dur::from_secs(2));
     let lost: usize = report.flows.iter().map(|f| f.lost_on_direct()).sum();
     let recovered: usize = report.flows.iter().map(|f| f.recovered()).sum();
-    let recovery_rate = if lost == 0 { 1.0 } else { recovered as f64 / lost as f64 };
+    let recovery_rate = if lost == 0 {
+        1.0
+    } else {
+        recovered as f64 / lost as f64
+    };
     let overhead = report.coding_overhead();
     println!(
         "  streams: {streams}   lost on direct paths: {lost}   recovered: {recovered} ({:.1}%)",

@@ -8,7 +8,9 @@ use serde::Serialize;
 
 /// Where figure data files are written.
 pub fn figures_dir() -> PathBuf {
-    let dir = PathBuf::from(std::env::var("JQOS_FIGURES_DIR").unwrap_or_else(|_| "target/figures".into()));
+    let dir = PathBuf::from(
+        std::env::var("JQOS_FIGURES_DIR").unwrap_or_else(|_| "target/figures".into()),
+    );
     fs::create_dir_all(&dir).expect("create figures dir");
     dir
 }
@@ -17,7 +19,9 @@ pub fn figures_dir() -> PathBuf {
 /// the whole suite finishes in well under a minute (used by CI and the
 /// integration tests); unset runs the full-size experiments.
 pub fn quick_mode() -> bool {
-    std::env::var("JQOS_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("JQOS_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// Picks `full` normally and `quick` under `JQOS_QUICK=1`.
@@ -71,7 +75,10 @@ impl Series {
 
     /// Prints the series as a fixed-width row of percentiles.
     pub fn print_row(&self) {
-        print!("  {:<26} n={:<7} mean={:>8.2}", self.label, self.count, self.mean);
+        print!(
+            "  {:<26} n={:<7} mean={:>8.2}",
+            self.label, self.count, self.mean
+        );
         for (q, v) in &self.percentiles {
             print!("  p{:<2.0}={:>8.2}", q * 100.0, v);
         }

@@ -31,7 +31,10 @@ impl CodedBatch {
 /// the payload and zero padding up to `shard_len`.
 pub fn pad_packet(packet: &[u8], shard_len: usize) -> Vec<u8> {
     assert!(packet.len() + 2 <= shard_len, "packet longer than shard");
-    assert!(packet.len() <= u16::MAX as usize, "packet too large for length prefix");
+    assert!(
+        packet.len() <= u16::MAX as usize,
+        "packet too large for length prefix"
+    );
     let mut shard = Vec::with_capacity(shard_len);
     shard.extend_from_slice(&(packet.len() as u16).to_be_bytes());
     shard.extend_from_slice(packet);
@@ -84,7 +87,11 @@ pub fn decode_packets(
     available_data: &[(usize, &[u8])],
     available_parity: &[(usize, &[u8])],
 ) -> Result<Vec<Vec<u8>>, RsError> {
-    let parity_max = available_parity.iter().map(|(i, _)| i + 1).max().unwrap_or(0);
+    let parity_max = available_parity
+        .iter()
+        .map(|(i, _)| i + 1)
+        .max()
+        .unwrap_or(0);
     // The codec shape must match the encoder's; parity_count only needs to be
     // large enough to address the highest parity index we hold.
     let parity_count = parity_max.max(1);
@@ -150,7 +157,8 @@ mod tests {
             (3, packets[3].as_slice()),
         ];
         let available_parity: Vec<(usize, &[u8])> = vec![(0, batch.parity[0].as_slice())];
-        let recovered = decode_packets(4, batch.shard_len, &available_data, &available_parity).unwrap();
+        let recovered =
+            decode_packets(4, batch.shard_len, &available_data, &available_parity).unwrap();
         assert_eq!(recovered[1], packets[1]);
         assert_eq!(recovered[0], packets[0]);
     }
@@ -164,7 +172,8 @@ mod tests {
         let available_data: Vec<(usize, &[u8])> =
             (0..5).map(|i| (i, packets[i].as_slice())).collect();
         let available_parity: Vec<(usize, &[u8])> = vec![(1, batch.parity[1].as_slice())];
-        let recovered = decode_packets(6, batch.shard_len, &available_data, &available_parity).unwrap();
+        let recovered =
+            decode_packets(6, batch.shard_len, &available_data, &available_parity).unwrap();
         assert_eq!(recovered[5], packets[5]);
     }
 
@@ -177,7 +186,8 @@ mod tests {
         let available_data: Vec<(usize, &[u8])> =
             vec![(0, packets[0].as_slice()), (1, packets[1].as_slice())];
         let available_parity: Vec<(usize, &[u8])> = vec![(0, batch.parity[0].as_slice())];
-        let err = decode_packets(4, batch.shard_len, &available_data, &available_parity).unwrap_err();
+        let err =
+            decode_packets(4, batch.shard_len, &available_data, &available_parity).unwrap_err();
         assert!(matches!(err, RsError::NotEnoughShards { .. }));
     }
 

@@ -75,7 +75,10 @@ impl ReedSolomon {
     /// `data_shards + parity_shards ≤ 255` (the field size minus one).
     pub fn new(data_shards: usize, parity_shards: usize) -> Result<Self, RsError> {
         if data_shards == 0 || parity_shards == 0 || data_shards + parity_shards > 255 {
-            return Err(RsError::InvalidParameters { data_shards, parity_shards });
+            return Err(RsError::InvalidParameters {
+                data_shards,
+                parity_shards,
+            });
         }
         let total = data_shards + parity_shards;
         let vandermonde = Matrix::vandermonde(total, data_shards);
@@ -162,7 +165,11 @@ impl ReedSolomon {
         self.reconstruct_internal(shards, true)
     }
 
-    fn reconstruct_internal(&self, shards: &mut [Option<Vec<u8>>], data_only: bool) -> Result<(), RsError> {
+    fn reconstruct_internal(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        data_only: bool,
+    ) -> Result<(), RsError> {
         let total = self.total_shards();
         if shards.len() != total {
             return Err(RsError::WrongShardCount {
@@ -238,7 +245,7 @@ impl ReedSolomon {
             });
         }
         let data = &shards[..self.data_shards];
-        let expected = self.encode(&data.to_vec())?;
+        let expected = self.encode(data)?;
         Ok(expected
             .iter()
             .zip(&shards[self.data_shards..])
@@ -253,7 +260,11 @@ mod tests {
 
     fn sample_data(k: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| (i as u8).wrapping_mul(31) ^ (j as u8) ^ seed).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| (i as u8).wrapping_mul(31) ^ (j as u8) ^ seed)
+                    .collect()
+            })
             .collect()
     }
 
@@ -322,7 +333,10 @@ mod tests {
         shards[2] = None;
         assert_eq!(
             rs.reconstruct(&mut shards),
-            Err(RsError::NotEnoughShards { needed: 4, present: 3 })
+            Err(RsError::NotEnoughShards {
+                needed: 4,
+                present: 3
+            })
         );
     }
 

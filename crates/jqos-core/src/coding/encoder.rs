@@ -79,7 +79,11 @@ impl BatchEncoder {
             return vec![];
         }
 
-        let payloads: Vec<&[u8]> = batch.packets.iter().map(|p| p.packet.payload.as_ref()).collect();
+        let payloads: Vec<&[u8]> = batch
+            .packets
+            .iter()
+            .map(|p| p.packet.payload.as_ref())
+            .collect();
         let coded = match encode_packets(&payloads, parity_count) {
             Ok(c) => c,
             Err(_) => return vec![],
@@ -134,14 +138,20 @@ pub fn decode_batch(
     wanted: &[(FlowId, SeqNo)],
     now: Time,
 ) -> Result<Vec<DataPacket>, RsError> {
-    let first = coded.first().ok_or(RsError::NotEnoughShards { needed: 1, present: 0 })?;
+    let first = coded.first().ok_or(RsError::NotEnoughShards {
+        needed: 1,
+        present: 0,
+    })?;
     let members = &first.members;
     let data_count = members.len();
 
     // Map collected data packets onto member slots.
     let mut available_data: Vec<(usize, &[u8])> = Vec::new();
     for (slot, m) in members.iter().enumerate() {
-        if let Some(p) = collected.iter().find(|p| p.flow == m.flow && p.seq == m.seq) {
+        if let Some(p) = collected
+            .iter()
+            .find(|p| p.flow == m.flow && p.seq == m.seq)
+        {
             available_data.push((slot, p.payload.as_ref()));
         }
     }
@@ -159,7 +169,10 @@ pub fn decode_batch(
 
     let mut out = Vec::new();
     for (flow, seq) in wanted {
-        if let Some(slot) = members.iter().position(|m| m.flow == *flow && m.seq == *seq) {
+        if let Some(slot) = members
+            .iter()
+            .position(|m| m.flow == *flow && m.seq == *seq)
+        {
             out.push(DataPacket {
                 flow: *flow,
                 seq: *seq,
@@ -256,7 +269,11 @@ mod tests {
     #[test]
     fn empty_batches_are_skipped() {
         let mut enc = default_encoder();
-        let b = ReadyBatch { kind: CodingKind::CrossStream, dc2: NodeId(50), packets: vec![] };
+        let b = ReadyBatch {
+            kind: CodingKind::CrossStream,
+            dc2: NodeId(50),
+            packets: vec![],
+        };
         assert!(enc.encode(&b, Time::ZERO).is_empty());
         assert_eq!(enc.stats().batches, 0);
     }
@@ -323,7 +340,10 @@ mod tests {
     #[test]
     fn decode_ignores_unrelated_collected_packets() {
         let mut enc = default_encoder();
-        let b = batch(CodingKind::CrossStream, &[(0, 1, 80), (1, 2, 80), (2, 3, 80)]);
+        let b = batch(
+            CodingKind::CrossStream,
+            &[(0, 1, 80), (1, 2, 80), (2, 3, 80)],
+        );
         let coded = enc.encode(&b, Time::ZERO);
         let mut collected: Vec<DataPacket> = b
             .packets

@@ -123,7 +123,10 @@ impl EncodingEngine {
                     coded
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("encoder thread")).sum()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("encoder thread"))
+                .sum()
         })
         .expect("thread scope");
 

@@ -77,7 +77,9 @@ pub fn crwan_cloud_recovery(delivered: &[bool], access_loss: Option<&[bool]>) ->
             continue;
         }
         result.lost += 1;
-        let lost_on_access = access_loss.map(|a| a.get(i).copied().unwrap_or(false)).unwrap_or(false);
+        let lost_on_access = access_loss
+            .map(|a| a.get(i).copied().unwrap_or(false))
+            .unwrap_or(false);
         if !lost_on_access {
             result.recovered += 1;
         }
@@ -178,12 +180,24 @@ mod tests {
 
     #[test]
     fn percent_increase_edge_cases() {
-        let crwan = WhatIfResult { lost: 10, recovered: 10 };
-        let fec_same = WhatIfResult { lost: 10, recovered: 10 };
+        let crwan = WhatIfResult {
+            lost: 10,
+            recovered: 10,
+        };
+        let fec_same = WhatIfResult {
+            lost: 10,
+            recovered: 10,
+        };
         assert_eq!(percent_increase(crwan, fec_same), 0.0);
-        let fec_zero = WhatIfResult { lost: 10, recovered: 0 };
+        let fec_zero = WhatIfResult {
+            lost: 10,
+            recovered: 0,
+        };
         assert_eq!(percent_increase(crwan, fec_zero), 10_000.0);
-        let fec_half = WhatIfResult { lost: 10, recovered: 5 };
+        let fec_half = WhatIfResult {
+            lost: 10,
+            recovered: 5,
+        };
         assert_eq!(percent_increase(crwan, fec_half), 100.0);
     }
 

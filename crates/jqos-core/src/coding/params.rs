@@ -152,17 +152,25 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut p = CodingParams::default();
-        p.k = 1;
+        let p = CodingParams {
+            k: 1,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = CodingParams::default();
-        p.cross_parity = 0;
+        let p = CodingParams {
+            cross_parity: 0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = CodingParams::default();
-        p.cross_queue_count = 0;
+        let p = CodingParams {
+            cross_queue_count: 0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = CodingParams::default();
-        p.k = 300;
+        let p = CodingParams {
+            k: 300,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 }

@@ -156,7 +156,10 @@ impl CodingQueues {
         };
         self.stats.packets_in += 1;
         let mut ready = Vec::new();
-        let qp = QueuedPacket { packet, receiver: info.receiver };
+        let qp = QueuedPacket {
+            packet,
+            receiver: info.receiver,
+        };
 
         // (1) In-stream coding: one queue per flow.
         if self.params.in_stream_enabled {
@@ -241,7 +244,11 @@ impl CodingQueues {
                     let packets = q.take();
                     let dc2 = self.flows[flow].dc2;
                     self.stats.in_stream_batches += 1;
-                    ready.push(ReadyBatch { kind: CodingKind::InStream, dc2, packets });
+                    ready.push(ReadyBatch {
+                        kind: CodingKind::InStream,
+                        dc2,
+                        packets,
+                    });
                 }
             }
         }
@@ -275,7 +282,11 @@ impl CodingQueues {
                 if q.len() >= 2 {
                     let packets = q.take();
                     let dc2 = self.flows[flow].dc2;
-                    ready.push(ReadyBatch { kind: CodingKind::InStream, dc2, packets });
+                    ready.push(ReadyBatch {
+                        kind: CodingKind::InStream,
+                        dc2,
+                        packets,
+                    });
                 }
             }
         }
@@ -334,7 +345,12 @@ mod tests {
     }
 
     fn pkt(flow: u32, seq: u64) -> DataPacket {
-        DataPacket::new(FlowId(flow), seq, Bytes::from(vec![flow as u8; 64]), Time::ZERO)
+        DataPacket::new(
+            FlowId(flow),
+            seq,
+            Bytes::from(vec![flow as u8; 64]),
+            Time::ZERO,
+        )
     }
 
     fn plan_with_flows(n: u32) -> CodingQueues {
@@ -360,8 +376,10 @@ mod tests {
         for seq in 0..5 {
             batches.extend(q.process(pkt(0, seq), Time::from_millis(seq)));
         }
-        let in_stream: Vec<&ReadyBatch> =
-            batches.iter().filter(|b| b.kind == CodingKind::InStream).collect();
+        let in_stream: Vec<&ReadyBatch> = batches
+            .iter()
+            .filter(|b| b.kind == CodingKind::InStream)
+            .collect();
         assert_eq!(in_stream.len(), 1);
         assert_eq!(in_stream[0].packets.len(), 5);
         assert!(in_stream[0]
@@ -377,9 +395,15 @@ mod tests {
         for f in 0..4u32 {
             batches.extend(q.process(pkt(f, 0), Time::from_millis(f as u64)));
         }
-        let cross: Vec<&ReadyBatch> =
-            batches.iter().filter(|b| b.kind == CodingKind::CrossStream).collect();
-        assert_eq!(cross.len(), 1, "one cross batch once k distinct flows arrive");
+        let cross: Vec<&ReadyBatch> = batches
+            .iter()
+            .filter(|b| b.kind == CodingKind::CrossStream)
+            .collect();
+        assert_eq!(
+            cross.len(),
+            1,
+            "one cross batch once k distinct flows arrive"
+        );
         assert_eq!(cross[0].packets.len(), 4);
         let flows: std::collections::HashSet<FlowId> =
             cross[0].packets.iter().map(|p| p.packet.flow).collect();
@@ -428,8 +452,10 @@ mod tests {
         // Not full (k = 4) and not timed out yet.
         assert!(q.flush_expired(Time::from_millis(10)).is_empty());
         let flushed = q.flush_expired(Time::from_millis(31));
-        let cross: Vec<&ReadyBatch> =
-            flushed.iter().filter(|b| b.kind == CodingKind::CrossStream).collect();
+        let cross: Vec<&ReadyBatch> = flushed
+            .iter()
+            .filter(|b| b.kind == CodingKind::CrossStream)
+            .collect();
         assert_eq!(cross.len(), 1);
         assert_eq!(cross[0].packets.len(), 2);
         assert_eq!(q.stats().cross_batches_timeout, 1);

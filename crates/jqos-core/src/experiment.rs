@@ -212,7 +212,10 @@ impl Scenario {
                 cloud_copies: sender_stats.cloud_copies,
                 payload_bytes: sender_stats.payload_bytes,
                 cloud_bytes: sender_stats.cloud_bytes,
-                episode_breakdown: direct_path_breakdown(&packets_direct_view(&sent_log, &deliveries)),
+                episode_breakdown: direct_path_breakdown(&packets_direct_view(
+                    &sent_log,
+                    &deliveries,
+                )),
             });
         }
 
@@ -314,7 +317,10 @@ impl FlowReport {
 
     /// Packets delivered by any path.
     pub fn delivered(&self) -> usize {
-        self.packets.iter().filter(|p| p.delivered_at.is_some()).count()
+        self.packets
+            .iter()
+            .filter(|p| p.delivered_at.is_some())
+            .count()
     }
 
     /// Packets never delivered.
@@ -502,7 +508,11 @@ mod tests {
             .run(Dur::from_secs(12));
         let f = &report.flows[0];
         assert_eq!(f.sent(), 500);
-        assert!(f.unrecovered() > 5, "expected unrecovered losses, got {}", f.unrecovered());
+        assert!(
+            f.unrecovered() > 5,
+            "expected unrecovered losses, got {}",
+            f.unrecovered()
+        );
         assert_eq!(f.recovered(), 0);
         assert!(f.direct_loss_rate() > 0.02);
     }
@@ -519,7 +529,10 @@ mod tests {
         let f = &report.flows[0];
         assert_eq!(f.sent(), 600);
         assert_eq!(f.unrecovered(), 0, "forwarding should mask the outage");
-        assert!(f.delivered_cloud() > 100, "cloud path must have carried the outage traffic");
+        assert!(
+            f.delivered_cloud() > 100,
+            "cloud path must have carried the outage traffic"
+        );
         assert!(report.dc1.packets_relayed > 0);
         assert!(report.dc2.forwarded > 0);
     }
@@ -546,9 +559,16 @@ mod tests {
         // tail is looser.
         let fractions = f.recovery_delay_rtt_fractions();
         assert!(!fractions.is_empty());
-        let within_half = fractions.iter().filter(|f| **f <= 0.5).count() as f64 / fractions.len() as f64;
-        assert!(within_half >= 0.7, "only {within_half:.2} of recoveries within 0.5 RTT");
-        assert!(fractions.iter().all(|f| *f <= 1.0), "recovery slower than a full RTT");
+        let within_half =
+            fractions.iter().filter(|f| **f <= 0.5).count() as f64 / fractions.len() as f64;
+        assert!(
+            within_half >= 0.7,
+            "only {within_half:.2} of recoveries within 0.5 RTT"
+        );
+        assert!(
+            fractions.iter().all(|f| *f <= 1.0),
+            "recovery slower than a full RTT"
+        );
     }
 
     #[test]
@@ -577,7 +597,11 @@ mod tests {
         assert!(report.dc2.coop_recovered > 0);
         assert!(report.encoder.coded_packets > 0);
         // The cross-stream overhead must stay well below full duplication.
-        assert!(report.coding_overhead() < 0.8, "overhead {}", report.coding_overhead());
+        assert!(
+            report.coding_overhead() < 0.8,
+            "overhead {}",
+            report.coding_overhead()
+        );
     }
 
     #[test]

@@ -71,7 +71,13 @@ impl Dc1Node {
     }
 
     /// Registers a flow with its service, egress DC and receiver.
-    pub fn register_flow(&mut self, flow: FlowId, service: ServiceKind, dc2: NodeId, receiver: NodeId) {
+    pub fn register_flow(
+        &mut self,
+        flow: FlowId,
+        service: ServiceKind,
+        dc2: NodeId,
+        receiver: NodeId,
+    ) {
         self.flows.insert(
             flow,
             FlowState {
@@ -218,7 +224,11 @@ mod tests {
     }
     impl Sink {
         fn new() -> Self {
-            Sink { data: vec![], cloud: vec![], coded: vec![] }
+            Sink {
+                data: vec![],
+                cloud: vec![],
+                coded: vec![],
+            }
         }
     }
     impl Node<Msg> for Sink {
@@ -332,7 +342,11 @@ mod tests {
         let (mut sim, dc1, dc2, _receiver, _) = wire_up(node, packets);
         sim.run_for(Dur::from_secs(1));
         let coded = &sim.node_as::<Sink>(dc2).coded;
-        assert_eq!(coded.len(), 2, "k distinct flows -> one batch of 2 parity packets");
+        assert_eq!(
+            coded.len(),
+            2,
+            "k distinct flows -> one batch of 2 parity packets"
+        );
         assert_eq!(coded[0].members.len(), 3);
         assert_eq!(sim.node_as::<Dc1Node>(dc1).stats().coded_sent, 2);
     }

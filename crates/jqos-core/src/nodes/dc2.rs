@@ -202,7 +202,14 @@ impl Dc2Node {
         via: Option<BatchId>,
     ) {
         let wire = packet.wire_size() + 8;
-        ctx.send_sized(to, Msg::Recovered { packet, via_batch: via }, wire);
+        ctx.send_sized(
+            to,
+            Msg::Recovered {
+                packet,
+                via_batch: via,
+            },
+            wire,
+        );
     }
 
     fn handle_cloud_data(&mut self, ctx: &mut Context<'_, Msg>, packet: DataPacket) {
@@ -241,7 +248,10 @@ impl Dc2Node {
         let now = ctx.now();
         self.expire_coded(now);
         for m in &coded.members {
-            self.coverage.entry((m.flow, m.seq)).or_default().push(batch);
+            self.coverage
+                .entry((m.flow, m.seq))
+                .or_default()
+                .push(batch);
         }
         self.coded_arrival.entry(batch).or_insert(now);
         self.coded.entry(batch).or_default().push(coded);
@@ -308,15 +318,31 @@ impl Dc2Node {
             return;
         }
         // 2. A coded batch covering the packet exists: cooperative recovery.
-        if self.coverage.get(&key).map(|v| !v.is_empty()).unwrap_or(false) {
+        if self
+            .coverage
+            .get(&key)
+            .map(|v| !v.is_empty())
+            .unwrap_or(false)
+        {
             self.start_cooperative(ctx, flow, seq, from);
             return;
         }
         // 3. Nothing at DC2 yet: park the NACK and (optionally) check with the
         //    receiver to catch spurious timeouts at burst boundaries.
         let id = self.alloc_id();
-        let deadline = ctx.set_timer(self.config.waiting_deadline, timer_tag(TIMER_KIND_WAITING, id));
-        self.waiting.insert(id, WaitingNack { flow, seq, requester: from, deadline });
+        let deadline = ctx.set_timer(
+            self.config.waiting_deadline,
+            timer_tag(TIMER_KIND_WAITING, id),
+        );
+        self.waiting.insert(
+            id,
+            WaitingNack {
+                flow,
+                seq,
+                requester: from,
+                deadline,
+            },
+        );
         self.waiting_by_target.insert(key, id);
         self.stats.nacks_waiting += 1;
         if self.config.check_before_recovery {
@@ -325,7 +351,13 @@ impl Dc2Node {
         }
     }
 
-    fn start_cooperative(&mut self, ctx: &mut Context<'_, Msg>, flow: FlowId, seq: SeqNo, requester: NodeId) {
+    fn start_cooperative(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        flow: FlowId,
+        seq: SeqNo,
+        requester: NodeId,
+    ) {
         let key = (flow, seq);
         // Prefer a cross-stream batch: its members live at *other* receivers,
         // so it can repair bursts that wiped out the requester's own recent
@@ -375,7 +407,10 @@ impl Dc2Node {
             if m.flow == flow && m.seq == seq {
                 continue;
             }
-            per_receiver.entry(m.receiver).or_default().push((m.flow, m.seq));
+            per_receiver
+                .entry(m.receiver)
+                .or_default()
+                .push((m.flow, m.seq));
         }
         for (receiver, needed) in per_receiver {
             self.stats.coop_requests_sent += 1;
@@ -388,7 +423,12 @@ impl Dc2Node {
         self.try_decode(ctx, id);
     }
 
-    fn handle_coop_response(&mut self, ctx: &mut Context<'_, Msg>, batch: BatchId, packets: Vec<DataPacket>) {
+    fn handle_coop_response(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        batch: BatchId,
+        packets: Vec<DataPacket>,
+    ) {
         let ids = match self.pending_by_batch.get(&batch) {
             Some(ids) => ids.clone(),
             None => return,
@@ -441,7 +481,13 @@ impl Dc2Node {
         }
     }
 
-    fn handle_nack_confirm(&mut self, ctx: &mut Context<'_, Msg>, flow: FlowId, seq: SeqNo, still_missing: bool) {
+    fn handle_nack_confirm(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        flow: FlowId,
+        seq: SeqNo,
+        still_missing: bool,
+    ) {
         if still_missing {
             // Keep waiting for the cloud copy; nothing to do.
             return;
@@ -477,11 +523,17 @@ impl Node<Msg> for Dc2Node {
             Msg::CloudData(p) => self.handle_cloud_data(ctx, p),
             Msg::Coded(c) => self.handle_coded(ctx, c),
             Msg::Nack { flow, seq, .. } => self.handle_nack(ctx, from, flow, seq),
-            Msg::NackConfirm { flow, seq, still_missing } => {
-                self.handle_nack_confirm(ctx, flow, seq, still_missing)
-            }
+            Msg::NackConfirm {
+                flow,
+                seq,
+                still_missing,
+            } => self.handle_nack_confirm(ctx, flow, seq, still_missing),
             Msg::CoopResponse { batch, packets } => self.handle_coop_response(ctx, batch, packets),
-            Msg::Pull { flow, from_seq, to_seq } => self.handle_pull(ctx, from, flow, from_seq, to_seq),
+            Msg::Pull {
+                flow,
+                from_seq,
+                to_seq,
+            } => self.handle_pull(ctx, from, flow, from_seq, to_seq),
             _ => {}
         }
     }
@@ -562,17 +614,30 @@ mod tests {
                     let packets: Vec<DataPacket> = needed
                         .iter()
                         .filter_map(|(f, s)| {
-                            self.holds.iter().find(|p| p.flow == *f && p.seq == *s).cloned()
+                            self.holds
+                                .iter()
+                                .find(|p| p.flow == *f && p.seq == *s)
+                                .cloned()
                         })
                         .collect();
-                    ctx.send(from, Msg::CoopResponse { batch: *batch, packets });
+                    ctx.send(
+                        from,
+                        Msg::CoopResponse {
+                            batch: *batch,
+                            packets,
+                        },
+                    );
                 }
             }
             self.received.push(msg);
         }
         fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _t: TimerId, tag: u64) {
             let (_, to, msg) = self.script[tag as usize].clone();
-            let target = if to == NodeId(usize::MAX) { self.dc2 } else { to };
+            let target = if to == NodeId(usize::MAX) {
+                self.dc2
+            } else {
+                to
+            };
             ctx.send(target, msg);
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -601,7 +666,10 @@ mod tests {
             dc2: NodeId(0),
             packets: packets
                 .iter()
-                .map(|(p, r)| QueuedPacket { packet: p.clone(), receiver: *r })
+                .map(|(p, r)| QueuedPacket {
+                    packet: p.clone(),
+                    receiver: *r,
+                })
                 .collect(),
         };
         enc.encode(&batch, Time::ZERO)
@@ -616,7 +684,11 @@ mod tests {
         receiver.script.push((
             Dur::from_millis(50),
             DC2_PLACEHOLDER,
-            Msg::Nack { flow: FlowId(1), seq: 3, reason: NackReason::Gap },
+            Msg::Nack {
+                flow: FlowId(1),
+                seq: 3,
+                reason: NackReason::Gap,
+            },
         ));
         let recv_id = sim.add_node(receiver);
         let mut dc2 = Dc2Node::new(Dc2Config::default());
@@ -626,7 +698,8 @@ mod tests {
 
         // DC1 stand-in injects the cached copy before the NACK.
         let mut dc1 = Peer::new(dc2_id);
-        dc1.script.push((Dur::from_millis(10), dc2_id, Msg::CloudData(pkt(1, 3, 7))));
+        dc1.script
+            .push((Dur::from_millis(10), dc2_id, Msg::CloudData(pkt(1, 3, 7))));
         let dc1_id = sim.add_node(dc1);
 
         sim.add_link(recv_id, dc2_id, LinkSpec::symmetric(Dur::from_millis(10)));
@@ -652,7 +725,8 @@ mod tests {
         dc2.register_flow(FlowId(4), ServiceKind::Forwarding, recv_id);
         let dc2_id = sim.add_node(dc2);
         let mut dc1 = Peer::new(dc2_id);
-        dc1.script.push((Dur::from_millis(1), dc2_id, Msg::CloudData(pkt(4, 0, 1))));
+        dc1.script
+            .push((Dur::from_millis(1), dc2_id, Msg::CloudData(pkt(4, 0, 1))));
         let dc1_id = sim.add_node(dc1);
         sim.add_link(dc1_id, dc2_id, LinkSpec::symmetric(Dur::from_millis(5)));
         sim.add_link(dc2_id, recv_id, LinkSpec::symmetric(Dur::from_millis(10)));
@@ -679,7 +753,11 @@ mod tests {
         r1.script.push((
             Dur::from_millis(40),
             DC2_PLACEHOLDER,
-            Msg::Nack { flow: FlowId(1), seq: 5, reason: NackReason::ShortTimeout },
+            Msg::Nack {
+                flow: FlowId(1),
+                seq: 5,
+                reason: NackReason::ShortTimeout,
+            },
         ));
         let r1_id = sim.add_node(r1);
         let mut r2 = Peer::new(DC2_PLACEHOLDER);
@@ -703,7 +781,8 @@ mod tests {
         // three flows.
         let coded = make_coded(&[(p1.clone(), r1_id), (p2, r2_id), (p3, r3_id)], 1);
         let mut dc1 = Peer::new(dc2_id);
-        dc1.script.push((Dur::from_millis(5), dc2_id, Msg::Coded(coded[0].clone())));
+        dc1.script
+            .push((Dur::from_millis(5), dc2_id, Msg::Coded(coded[0].clone())));
         let dc1_id = sim.add_node(dc1);
         sim.add_link(dc1_id, dc2_id, LinkSpec::symmetric(Dur::from_millis(5)));
 
@@ -715,7 +794,10 @@ mod tests {
         assert_eq!(stats.coop_failed, 0);
         let r1 = sim.node_as::<Peer>(r1_id);
         let recovered = r1.received.iter().find_map(|m| match m {
-            Msg::Recovered { packet, via_batch: Some(_) } => Some(packet.clone()),
+            Msg::Recovered {
+                packet,
+                via_batch: Some(_),
+            } => Some(packet.clone()),
             _ => None,
         });
         let recovered = recovered.expect("r1 should get its packet back");
@@ -735,7 +817,11 @@ mod tests {
             r1.script.push((
                 Dur::from_millis(40),
                 DC2_PLACEHOLDER,
-                Msg::Nack { flow: FlowId(1), seq: 5, reason: NackReason::Gap },
+                Msg::Nack {
+                    flow: FlowId(1),
+                    seq: 5,
+                    reason: NackReason::Gap,
+                },
             ));
             let r1_id = sim.add_node(r1);
             let mut r2 = Peer::new(DC2_PLACEHOLDER);
@@ -758,7 +844,8 @@ mod tests {
             let coded = make_coded(&[(p1.clone(), r1_id), (p2, r2_id), (p3, r3_id)], parity);
             let mut dc1 = Peer::new(dc2_id);
             for (i, c) in coded.into_iter().enumerate() {
-                dc1.script.push((Dur::from_millis(5 + i as u64), dc2_id, Msg::Coded(c)));
+                dc1.script
+                    .push((Dur::from_millis(5 + i as u64), dc2_id, Msg::Coded(c)));
             }
             let dc1_id = sim.add_node(dc1);
             sim.add_link(dc1_id, dc2_id, LinkSpec::symmetric(Dur::from_millis(5)));
@@ -769,7 +856,10 @@ mod tests {
                 assert_eq!(stats.coop_recovered, 1, "parity={parity}: {stats:?}");
             } else {
                 assert_eq!(stats.coop_recovered, 0, "parity={parity}: {stats:?}");
-                assert_eq!(stats.coop_failed, 1, "recovery must fail silently at the deadline");
+                assert_eq!(
+                    stats.coop_failed, 1,
+                    "recovery must fail silently at the deadline"
+                );
             }
         }
     }
@@ -785,7 +875,11 @@ mod tests {
         r1.script.push((
             Dur::from_millis(10),
             DC2_PLACEHOLDER,
-            Msg::Nack { flow: FlowId(1), seq: 5, reason: NackReason::ShortTimeout },
+            Msg::Nack {
+                flow: FlowId(1),
+                seq: 5,
+                reason: NackReason::ShortTimeout,
+            },
         ));
         let r1_id = sim.add_node(r1);
         let mut r2 = Peer::new(DC2_PLACEHOLDER);
@@ -802,7 +896,8 @@ mod tests {
         }
         let coded = make_coded(&[(p1.clone(), r1_id), (p2, r2_id)], 1);
         let mut dc1 = Peer::new(dc2_id);
-        dc1.script.push((Dur::from_millis(60), dc2_id, Msg::Coded(coded[0].clone())));
+        dc1.script
+            .push((Dur::from_millis(60), dc2_id, Msg::Coded(coded[0].clone())));
         let dc1_id = sim.add_node(dc1);
         sim.add_link(dc1_id, dc2_id, LinkSpec::symmetric(Dur::from_millis(5)));
 
@@ -827,12 +922,20 @@ mod tests {
         r1.script.push((
             Dur::from_millis(10),
             DC2_PLACEHOLDER,
-            Msg::Nack { flow: FlowId(1), seq: 5, reason: NackReason::LongTimeout },
+            Msg::Nack {
+                flow: FlowId(1),
+                seq: 5,
+                reason: NackReason::LongTimeout,
+            },
         ));
         r1.script.push((
             Dur::from_millis(30),
             DC2_PLACEHOLDER,
-            Msg::NackConfirm { flow: FlowId(1), seq: 5, still_missing: false },
+            Msg::NackConfirm {
+                flow: FlowId(1),
+                seq: 5,
+                still_missing: false,
+            },
         ));
         let r1_id = sim.add_node(r1);
         let mut dc2 = Dc2Node::new(Dc2Config::default());
@@ -853,7 +956,11 @@ mod tests {
         r1.script.push((
             Dur::from_millis(10),
             DC2_PLACEHOLDER,
-            Msg::Nack { flow: FlowId(1), seq: 5, reason: NackReason::LongTimeout },
+            Msg::Nack {
+                flow: FlowId(1),
+                seq: 5,
+                reason: NackReason::LongTimeout,
+            },
         ));
         let r1_id = sim.add_node(r1);
         let mut dc2 = Dc2Node::new(Dc2Config::default());
@@ -874,7 +981,11 @@ mod tests {
         r1.script.push((
             Dur::from_millis(200),
             DC2_PLACEHOLDER,
-            Msg::Pull { flow: FlowId(6), from_seq: 0, to_seq: 9 },
+            Msg::Pull {
+                flow: FlowId(6),
+                from_seq: 0,
+                to_seq: 9,
+            },
         ));
         let r1_id = sim.add_node(r1);
         let mut dc2 = Dc2Node::new(Dc2Config::default());
@@ -883,7 +994,11 @@ mod tests {
         sim.node_as::<Peer>(r1_id).dc2 = dc2_id;
         let mut dc1 = Peer::new(dc2_id);
         for seq in 0..5u64 {
-            dc1.script.push((Dur::from_millis(10 + seq), dc2_id, Msg::CloudData(pkt(6, seq, seq as u8))));
+            dc1.script.push((
+                Dur::from_millis(10 + seq),
+                dc2_id,
+                Msg::CloudData(pkt(6, seq, seq as u8)),
+            ));
         }
         let dc1_id = sim.add_node(dc1);
         sim.add_link(r1_id, dc2_id, LinkSpec::symmetric(Dur::from_millis(5)));

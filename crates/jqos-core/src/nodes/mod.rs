@@ -73,7 +73,7 @@ impl PathPolicy {
 
     /// Whether packet `seq` should get a cloud copy under this policy.
     pub fn duplicate_to_cloud(&self, seq: u64) -> bool {
-        self.send_cloud && seq % self.cloud_every_nth == 0
+        self.send_cloud && seq.is_multiple_of(self.cloud_every_nth)
     }
 }
 
@@ -96,7 +96,13 @@ pub struct FlowSpec {
 
 impl FlowSpec {
     /// A flow spec with the default path policy for its service.
-    pub fn new(flow: FlowId, service: ServiceKind, receiver: NodeId, dc1: NodeId, dc2: NodeId) -> Self {
+    pub fn new(
+        flow: FlowId,
+        service: ServiceKind,
+        receiver: NodeId,
+        dc1: NodeId,
+        dc2: NodeId,
+    ) -> Self {
         FlowSpec {
             flow,
             service,

@@ -164,8 +164,14 @@ mod tests {
 
     fn build(policy: PathPolicy, count: u64) -> (Simulator<Msg>, NodeId, NodeId, NodeId) {
         let mut sim = Simulator::new(11);
-        let receiver = sim.add_node(Sink { data: vec![], cloud: vec![] });
-        let dc1 = sim.add_node(Sink { data: vec![], cloud: vec![] });
+        let receiver = sim.add_node(Sink {
+            data: vec![],
+            cloud: vec![],
+        });
+        let dc1 = sim.add_node(Sink {
+            data: vec![],
+            cloud: vec![],
+        });
         let spec = FlowSpec {
             flow: FlowId(1),
             service: ServiceKind::Coding,
@@ -185,7 +191,8 @@ mod tests {
 
     #[test]
     fn sender_emits_all_packets_on_both_paths() {
-        let (mut sim, sender, receiver, dc1) = build(PathPolicy::for_service(ServiceKind::Coding), 10);
+        let (mut sim, sender, receiver, dc1) =
+            build(PathPolicy::for_service(ServiceKind::Coding), 10);
         sim.run_for(Dur::from_secs(2));
         let s = sim.node_as::<SenderNode>(sender);
         assert_eq!(s.stats().packets_sent, 10);
@@ -200,7 +207,8 @@ mod tests {
 
     #[test]
     fn internet_only_policy_sends_no_cloud_copies() {
-        let (mut sim, sender, _receiver, dc1) = build(PathPolicy::for_service(ServiceKind::InternetOnly), 5);
+        let (mut sim, sender, _receiver, dc1) =
+            build(PathPolicy::for_service(ServiceKind::InternetOnly), 5);
         sim.run_for(Dur::from_secs(1));
         assert_eq!(sim.node_as::<SenderNode>(sender).stats().cloud_copies, 0);
         assert!(sim.node_as::<Sink>(dc1).cloud.is_empty());
@@ -225,7 +233,8 @@ mod tests {
 
     #[test]
     fn packet_pacing_follows_the_source_interval() {
-        let (mut sim, _sender, receiver, _dc1) = build(PathPolicy::for_service(ServiceKind::InternetOnly), 3);
+        let (mut sim, _sender, receiver, _dc1) =
+            build(PathPolicy::for_service(ServiceKind::InternetOnly), 3);
         sim.run_for(Dur::from_secs(1));
         let r = sim.node_as::<Sink>(receiver);
         // First packet at 10 ms (source gap) + 50 ms link = 60 ms, then every

@@ -105,10 +105,8 @@ mod tests {
     #[test]
     fn schedule_source_replays_entries_in_order() {
         let mut rng = component_rng(2, 0);
-        let mut s = ScheduleSource::new(vec![
-            (Dur::from_millis(1), 10),
-            (Dur::from_millis(100), 20),
-        ]);
+        let mut s =
+            ScheduleSource::new(vec![(Dur::from_millis(1), 10), (Dur::from_millis(100), 20)]);
         assert_eq!(s.next_packet(&mut rng), Some((Dur::from_millis(1), 10)));
         assert_eq!(s.next_packet(&mut rng), Some((Dur::from_millis(100), 20)));
         assert_eq!(s.next_packet(&mut rng), None);

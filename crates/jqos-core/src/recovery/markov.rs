@@ -113,7 +113,9 @@ impl LossDetector {
                 let adaptive = Dur::from_millis_f64(gap_ms * self.config.adaptive_margin);
                 // Never exceed the configured short timeout (which is itself
                 // well below the RTT) and keep a sane floor.
-                adaptive.max(Dur::from_millis(2)).min(self.config.short_timeout)
+                adaptive
+                    .max(Dur::from_millis(2))
+                    .min(self.config.short_timeout)
             }
             None => self.config.short_timeout,
         }
@@ -191,7 +193,10 @@ mod tests {
         d.on_arrival(Time::from_millis(0));
         let t = d.on_arrival(Time::from_millis(10));
         assert_eq!(d.state(), DetectorState::Burst);
-        assert!(t <= Dur::from_millis(25), "short timeout expected, got {t:?}");
+        assert!(
+            t <= Dur::from_millis(25),
+            "short timeout expected, got {t:?}"
+        );
         assert!(t >= Dur::from_millis(2));
     }
 
@@ -203,7 +208,10 @@ mod tests {
         for i in 0..20 {
             t = d.on_arrival(Time::from_millis(i * 5));
         }
-        assert!(t >= Dur::from_millis(10) && t <= Dur::from_millis(25), "{t:?}");
+        assert!(
+            t >= Dur::from_millis(10) && t <= Dur::from_millis(25),
+            "{t:?}"
+        );
     }
 
     #[test]

@@ -31,8 +31,11 @@ pub enum ServiceKind {
 impl ServiceKind {
     /// All cloud services ordered from cheapest to most expensive, the order
     /// in which the selector considers them.
-    pub const CLOUD_SERVICES_BY_COST: [ServiceKind; 3] =
-        [ServiceKind::Coding, ServiceKind::Caching, ServiceKind::Forwarding];
+    pub const CLOUD_SERVICES_BY_COST: [ServiceKind; 3] = [
+        ServiceKind::Coding,
+        ServiceKind::Caching,
+        ServiceKind::Forwarding,
+    ];
 
     /// Relative egress-bandwidth cost factor per delivered packet, following
     /// §3: forwarding pays `2c`, caching `c`, coding `α·c`.
@@ -78,7 +81,13 @@ impl PathDelays {
     /// Builds the delay set assuming the cooperating receivers have the same
     /// access latency as this receiver.
     pub fn symmetric(y: Dur, delta_s: Dur, x: Dur, delta_r: Dur) -> Self {
-        PathDelays { y, delta_s, x, delta_r, delta_median: delta_r }
+        PathDelays {
+            y,
+            delta_s,
+            x,
+            delta_r,
+            delta_median: delta_r,
+        }
     }
 
     /// Round-trip time of the direct Internet path.
@@ -120,7 +129,9 @@ impl PathDelays {
             ServiceKind::InternetOnly => self.rtt(), // sender retransmission
             ServiceKind::Forwarding => Dur::ZERO,    // no recovery needed
             ServiceKind::Caching => self.delta_r * 2 + self.cloud_copy_wait(),
-            ServiceKind::Coding => self.delta_r * 2 + self.delta_median * 2 + self.cloud_copy_wait(),
+            ServiceKind::Coding => {
+                self.delta_r * 2 + self.delta_median * 2 + self.cloud_copy_wait()
+            }
         };
         recovery.as_millis_f64() / rtt
     }
@@ -181,7 +192,10 @@ impl ServiceSelector {
         for service in ServiceKind::CLOUD_SERVICES_BY_COST {
             let est = self.delays.delivery_latency(service);
             if est <= reg.latency_budget {
-                return Selection { service, estimated_latency: est };
+                return Selection {
+                    service,
+                    estimated_latency: est,
+                };
             }
         }
         Selection {
@@ -207,7 +221,10 @@ impl ServiceSelector {
         for service in order.iter().skip(pos + 1) {
             let est = self.delays.delivery_latency(*service);
             if est <= reg.latency_budget {
-                return Some(Selection { service: *service, estimated_latency: est });
+                return Some(Selection {
+                    service: *service,
+                    estimated_latency: est,
+                });
             }
         }
         if current != ServiceKind::Forwarding {
@@ -237,12 +254,24 @@ mod tests {
     #[test]
     fn latency_formulas_match_figure_2() {
         let d = wide_area();
-        assert_eq!(d.delivery_latency(ServiceKind::InternetOnly), Dur::from_millis(75));
-        assert_eq!(d.delivery_latency(ServiceKind::Forwarding), Dur::from_millis(90));
+        assert_eq!(
+            d.delivery_latency(ServiceKind::InternetOnly),
+            Dur::from_millis(75)
+        );
+        assert_eq!(
+            d.delivery_latency(ServiceKind::Forwarding),
+            Dur::from_millis(90)
+        );
         // cloud copy wait: (10+70) - (75+10) = 0
         assert_eq!(d.cloud_copy_wait(), Dur::ZERO);
-        assert_eq!(d.delivery_latency(ServiceKind::Caching), Dur::from_millis(95));
-        assert_eq!(d.delivery_latency(ServiceKind::Coding), Dur::from_millis(115));
+        assert_eq!(
+            d.delivery_latency(ServiceKind::Caching),
+            Dur::from_millis(95)
+        );
+        assert_eq!(
+            d.delivery_latency(ServiceKind::Coding),
+            Dur::from_millis(115)
+        );
     }
 
     #[test]

@@ -131,7 +131,13 @@ impl PacketCache {
 
     /// Returns every cached packet of `flow` with sequence number in
     /// `[from, to]` — the pull-range operation used by the mobility use case.
-    pub fn get_range(&mut self, flow: FlowId, from: SeqNo, to: SeqNo, now: Time) -> Vec<DataPacket> {
+    pub fn get_range(
+        &mut self,
+        flow: FlowId,
+        from: SeqNo,
+        to: SeqNo,
+        now: Time,
+    ) -> Vec<DataPacket> {
         self.expire(now);
         let out: Vec<DataPacket> = self
             .by_flow
@@ -148,7 +154,10 @@ impl PacketCache {
 
     /// Whether a packet is currently cached (does not count as a lookup).
     pub fn contains(&self, flow: FlowId, seq: SeqNo) -> bool {
-        self.by_flow.get(&flow).map(|m| m.contains_key(&seq)).unwrap_or(false)
+        self.by_flow
+            .get(&flow)
+            .map(|m| m.contains_key(&seq))
+            .unwrap_or(false)
     }
 
     /// Drops entries older than the TTL.
@@ -200,7 +209,12 @@ mod tests {
     use bytes::Bytes;
 
     fn pkt(flow: u32, seq: SeqNo) -> DataPacket {
-        DataPacket::new(FlowId(flow), seq, Bytes::from_static(b"payload"), Time::ZERO)
+        DataPacket::new(
+            FlowId(flow),
+            seq,
+            Bytes::from_static(b"payload"),
+            Time::ZERO,
+        )
     }
 
     #[test]
@@ -255,7 +269,9 @@ mod tests {
         let seqs: Vec<SeqNo> = got.iter().map(|p| p.seq).collect();
         assert_eq!(seqs, vec![3, 5]);
         // Pull on an unknown flow is a miss.
-        assert!(c.get_range(FlowId(9), 0, 10, Time::from_millis(1)).is_empty());
+        assert!(c
+            .get_range(FlowId(9), 0, 10, Time::from_millis(1))
+            .is_empty());
     }
 
     #[test]

@@ -71,7 +71,9 @@ pub mod wire {
             let (tag, flow, seq, payload) = match self {
                 WireMsg::Data { flow, seq, payload } => (TAG_DATA, *flow, *seq, Some(payload)),
                 WireMsg::Nack { flow, seq } => (TAG_NACK, *flow, *seq, None),
-                WireMsg::Recovered { flow, seq, payload } => (TAG_RECOVERED, *flow, *seq, Some(payload)),
+                WireMsg::Recovered { flow, seq, payload } => {
+                    (TAG_RECOVERED, *flow, *seq, Some(payload))
+                }
             };
             let mut out = Vec::with_capacity(13 + payload.map(|p| p.len()).unwrap_or(0));
             out.push(tag);
@@ -108,9 +110,17 @@ pub mod wire {
         #[test]
         fn round_trip_all_variants() {
             for msg in [
-                WireMsg::Data { flow: 7, seq: 99, payload: vec![1, 2, 3] },
+                WireMsg::Data {
+                    flow: 7,
+                    seq: 99,
+                    payload: vec![1, 2, 3],
+                },
                 WireMsg::Nack { flow: 1, seq: 5 },
-                WireMsg::Recovered { flow: 2, seq: 8, payload: vec![9; 100] },
+                WireMsg::Recovered {
+                    flow: 2,
+                    seq: 8,
+                    payload: vec![9; 100],
+                },
             ] {
                 let bytes = msg.encode();
                 assert_eq!(WireMsg::decode(&bytes), Some(msg));
@@ -141,12 +151,15 @@ pub struct RelayStats {
     pub forwarded: u64,
 }
 
+/// Relay-side cache of packet payloads keyed by `(flow, seq)`.
+type PacketCache = HashMap<(u32, u64), Vec<u8>>;
+
 /// A DC relay process: caches cloud copies and serves NACKs (caching
 /// service); optionally forwards every copy to a downstream address
 /// (forwarding service).
 pub struct DcRelay {
     socket: Arc<UdpSocket>,
-    cache: Arc<Mutex<HashMap<(u32, u64), Vec<u8>>>>,
+    cache: Arc<Mutex<PacketCache>>,
     stats: Arc<Mutex<RelayStats>>,
     forward_to: Option<SocketAddr>,
     cache_capacity: usize,
@@ -226,7 +239,11 @@ pub struct LiveSender {
 
 impl LiveSender {
     /// Creates a sender bound to an ephemeral local port.
-    pub async fn new(receiver: SocketAddr, relay: Option<SocketAddr>, flow: u32) -> std::io::Result<Self> {
+    pub async fn new(
+        receiver: SocketAddr,
+        relay: Option<SocketAddr>,
+        flow: u32,
+    ) -> std::io::Result<Self> {
         Ok(LiveSender {
             socket: UdpSocket::bind("127.0.0.1:0").await?,
             receiver,
@@ -374,22 +391,33 @@ mod tests {
         let mut receiver = LiveReceiver::bind("127.0.0.1:0", relay_addr).await.unwrap();
         let receiver_addr = receiver.local_addr().unwrap();
 
-        let mut sender = LiveSender::new(receiver_addr, Some(relay_addr), 1).await.unwrap();
+        let mut sender = LiveSender::new(receiver_addr, Some(relay_addr), 1)
+            .await
+            .unwrap();
         let send_task = tokio::spawn(async move {
             for seq in 0..50u64 {
                 let drop_direct = seq % 5 == 4;
-                sender.send(format!("packet-{seq}").as_bytes(), drop_direct).await.unwrap();
+                sender
+                    .send(format!("packet-{seq}").as_bytes(), drop_direct)
+                    .await
+                    .unwrap();
                 tokio::time::sleep(Duration::from_millis(2)).await;
             }
         });
 
-        receiver.run_until_idle(Duration::from_millis(300)).await.unwrap();
+        receiver
+            .run_until_idle(Duration::from_millis(300))
+            .await
+            .unwrap();
         send_task.await.unwrap();
         relay_task.abort();
 
         let stats = receiver.stats();
         assert_eq!(stats.direct, 40, "4 of every 5 packets arrive directly");
-        assert!(stats.recovered >= 9, "dropped packets recovered via the relay: {stats:?}");
+        assert!(
+            stats.recovered >= 9,
+            "dropped packets recovered via the relay: {stats:?}"
+        );
         assert!(stats.nacks_sent >= 9);
         // Every packet except possibly the trailing dropped one is present.
         for seq in 0..49u64 {
@@ -405,12 +433,15 @@ mod tests {
     /// arrives.
     #[tokio::test]
     async fn loopback_forwarding_masks_direct_path_outage() {
-        let mut receiver_socketless = LiveReceiver::bind("127.0.0.1:0", "127.0.0.1:9".parse().unwrap())
-            .await
-            .unwrap();
+        let mut receiver_socketless =
+            LiveReceiver::bind("127.0.0.1:0", "127.0.0.1:9".parse().unwrap())
+                .await
+                .unwrap();
         let receiver_addr = receiver_socketless.local_addr().unwrap();
 
-        let relay = DcRelay::bind("127.0.0.1:0", Some(receiver_addr)).await.unwrap();
+        let relay = DcRelay::bind("127.0.0.1:0", Some(receiver_addr))
+            .await
+            .unwrap();
         let relay_addr = relay.local_addr().unwrap();
         let relay = Arc::new(relay);
         let relay_task = {
@@ -418,7 +449,9 @@ mod tests {
             tokio::spawn(async move { relay.run().await })
         };
 
-        let mut sender = LiveSender::new(receiver_addr, Some(relay_addr), 2).await.unwrap();
+        let mut sender = LiveSender::new(receiver_addr, Some(relay_addr), 2)
+            .await
+            .unwrap();
         let send_task = tokio::spawn(async move {
             for seq in 0..30u64 {
                 // The direct path is completely down.
@@ -427,7 +460,10 @@ mod tests {
             }
         });
 
-        receiver_socketless.run_until_idle(Duration::from_millis(300)).await.unwrap();
+        receiver_socketless
+            .run_until_idle(Duration::from_millis(300))
+            .await
+            .unwrap();
         send_task.await.unwrap();
         relay_task.abort();
 

@@ -25,7 +25,11 @@ pub enum DcEra {
 
 impl DcEra {
     /// All eras, oldest first.
-    pub const ALL: [DcEra; 3] = [DcEra::Ireland2007, DcEra::Frankfurt2014, DcEra::Stockholm2018];
+    pub const ALL: [DcEra; 3] = [
+        DcEra::Ireland2007,
+        DcEra::Frankfurt2014,
+        DcEra::Stockholm2018,
+    ];
 
     /// Label used in reports.
     pub fn label(&self) -> &'static str {
@@ -89,8 +93,18 @@ mod tests {
             .iter()
             .map(|(_, samples)| Cdf::from_samples(samples.clone()).median().unwrap())
             .collect();
-        assert!(medians[0] > medians[1], "Ireland {0} vs Frankfurt {1}", medians[0], medians[1]);
-        assert!(medians[1] > medians[2], "Frankfurt {0} vs Stockholm {1}", medians[1], medians[2]);
+        assert!(
+            medians[0] > medians[1],
+            "Ireland {0} vs Frankfurt {1}",
+            medians[0],
+            medians[1]
+        );
+        assert!(
+            medians[1] > medians[2],
+            "Frankfurt {0} vs Stockholm {1}",
+            medians[1],
+            medians[2]
+        );
     }
 
     #[test]
@@ -98,7 +112,11 @@ mod tests {
         let data = northern_eu_delta_by_era(5_000, 11);
         let (_, now) = data.last().unwrap();
         let mut cdf = Cdf::from_samples(now.clone());
-        assert!(cdf.fraction_leq(10.0) > 0.6, "P(δ<10ms) = {}", cdf.fraction_leq(10.0));
+        assert!(
+            cdf.fraction_leq(10.0) > 0.6,
+            "P(δ<10ms) = {}",
+            cdf.fraction_leq(10.0)
+        );
     }
 
     #[test]
@@ -111,7 +129,10 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic() {
-        assert_eq!(northern_eu_delta_by_era(100, 5), northern_eu_delta_by_era(100, 5));
+        assert_eq!(
+            northern_eu_delta_by_era(100, 5),
+            northern_eu_delta_by_era(100, 5)
+        );
     }
 
     #[test]

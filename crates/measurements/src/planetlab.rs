@@ -133,7 +133,8 @@ pub fn planetlab_paths_n(n: usize, seed: u64) -> Vec<PlanetLabPath> {
             let regions = sample_region_pair(&mut rng);
             let base_y = regions.base_one_way_ms();
             let y_ms = base_y * (0.9 + rng.gen::<f64>() * 0.3);
-            let x_ms = inter_dc_one_way_ms(regions.from, regions.to) * (0.9 + rng.gen::<f64>() * 0.2);
+            let x_ms =
+                inter_dc_one_way_ms(regions.from, regions.to) * (0.9 + rng.gen::<f64>() * 0.2);
             // Receiver-DC RTT varies 16–70 ms (mean 28) => one-way 8–35 ms.
             let delta_r_ms = 8.0 + rng.gen::<f64>().powi(2) * 27.0;
             let delta_s_ms = 5.0 + rng.gen::<f64>() * 15.0;
@@ -198,7 +199,8 @@ mod tests {
     fn loss_rates_match_reported_statistics() {
         let ps = paths();
         assert!(ps.iter().all(|p| p.loss_rate <= 0.009 + 1e-9));
-        let above_01_percent = ps.iter().filter(|p| p.loss_rate > 0.001).count() as f64 / ps.len() as f64;
+        let above_01_percent =
+            ps.iter().filter(|p| p.loss_rate > 0.001).count() as f64 / ps.len() as f64;
         assert!(
             (0.25..=0.55).contains(&above_01_percent),
             "fraction of paths with >0.1% loss: {above_01_percent}"
@@ -209,7 +211,10 @@ mod tests {
     fn roughly_half_the_paths_have_outages_of_one_to_three_seconds() {
         let ps = paths();
         let with_outages = ps.iter().filter(|p| p.has_outages).count() as f64 / ps.len() as f64;
-        assert!((0.3..=0.6).contains(&with_outages), "outage fraction {with_outages}");
+        assert!(
+            (0.3..=0.6).contains(&with_outages),
+            "outage fraction {with_outages}"
+        );
         for p in ps.iter().filter(|p| p.has_outages) {
             assert!((1.0..=3.0).contains(&p.outage_secs));
         }
@@ -227,9 +232,10 @@ mod tests {
     #[test]
     fn us_eu_paths_have_110_to_130ms_rtt() {
         let ps = paths();
-        for p in ps.iter().filter(|p| {
-            p.regions == RegionPair::new(Region::UsEast, Region::Europe)
-        }) {
+        for p in ps
+            .iter()
+            .filter(|p| p.regions == RegionPair::new(Region::UsEast, Region::Europe))
+        {
             assert!((100.0..=160.0).contains(&p.rtt_ms()), "rtt {}", p.rtt_ms());
         }
     }
@@ -248,6 +254,9 @@ mod tests {
         let with = ps.iter().find(|p| p.has_outages).unwrap();
         let without = ps.iter().find(|p| !p.has_outages).unwrap();
         assert!(matches!(with.internet_loss(), LossSpec::Compound(_)));
-        assert!(matches!(without.internet_loss(), LossSpec::GilbertElliott { .. }));
+        assert!(matches!(
+            without.internet_loss(),
+            LossSpec::GilbertElliott { .. }
+        ));
     }
 }

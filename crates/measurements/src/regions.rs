@@ -82,7 +82,11 @@ pub fn inter_region_one_way_ms(a: Region, b: Region) -> f64 {
     // Symmetric table of one-way latencies (≈ half the typical RTTs reported
     // in wide-area measurement studies; US-EU RTT 110–130 ms in §6.2.2).
     let pair = |x: Region, y: Region| (x, y);
-    let (a, b) = if (a as u8) <= (b as u8) { (a, b) } else { (b, a) };
+    let (a, b) = if (a as u8) <= (b as u8) {
+        (a, b)
+    } else {
+        (b, a)
+    };
     match pair(a, b) {
         (UsEast, UsWest) => 35.0,
         (UsEast, Europe) => 60.0,
@@ -140,8 +144,12 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<&str> = Region::ALL.iter().map(|r| r.label()).collect();
+        let labels: std::collections::HashSet<&str> =
+            Region::ALL.iter().map(|r| r.label()).collect();
         assert_eq!(labels.len(), Region::ALL.len());
-        assert_eq!(RegionPair::new(Region::UsEast, Region::Europe).label(), "US-E->EU");
+        assert_eq!(
+            RegionPair::new(Region::UsEast, Region::Europe).label(),
+            "US-E->EU"
+        );
     }
 }

@@ -72,7 +72,8 @@ impl PathSample {
 
     /// Recovery delay as a fraction of the RTT for the coding service.
     pub fn coding_recovery_fraction(&self) -> f64 {
-        (2.0 * self.delta_r_ms + 2.0 * self.delta_median_ms + self.cloud_copy_wait_ms()) / self.rtt_ms()
+        (2.0 * self.delta_r_ms + 2.0 * self.delta_median_ms + self.cloud_copy_wait_ms())
+            / self.rtt_ms()
     }
 }
 
@@ -185,8 +186,14 @@ mod tests {
     fn recovery_fractions_stay_below_half_rtt_for_most_paths() {
         // Figure 7(b): 95 % of recoveries finish within 0.5 × RTT.
         let paths = dataset();
-        let mut caching = Cdf::from_samples(paths.iter().map(|p| p.caching_recovery_fraction()).collect());
-        let mut coding = Cdf::from_samples(paths.iter().map(|p| p.coding_recovery_fraction()).collect());
+        let mut caching = Cdf::from_samples(
+            paths
+                .iter()
+                .map(|p| p.caching_recovery_fraction())
+                .collect(),
+        );
+        let mut coding =
+            Cdf::from_samples(paths.iter().map(|p| p.coding_recovery_fraction()).collect());
         assert!(caching.quantile(0.95).unwrap() <= 0.5);
         assert!(coding.quantile(0.95).unwrap() <= 0.75);
         // Caching recovers faster than coding at the median.

@@ -137,7 +137,11 @@ pub struct NormalDelay {
 
 impl DelayModel for NormalDelay {
     fn sample(&mut self, rng: &mut SmallRng) -> Dur {
-        let sampled = sample_normal(rng, self.mean.as_micros() as f64, self.std_dev.as_micros() as f64);
+        let sampled = sample_normal(
+            rng,
+            self.mean.as_micros() as f64,
+            self.std_dev.as_micros() as f64,
+        );
         let us = sampled.max(self.min.as_micros() as f64).round() as u64;
         Dur::from_micros(us)
     }
@@ -192,7 +196,10 @@ mod tests {
         let mut rng = component_rng(2, 0);
         for _ in 0..10_000 {
             let d = m.sample(&mut rng);
-            assert!(d >= Dur::from_millis(20) && d <= Dur::from_millis(30), "{d:?}");
+            assert!(
+                d >= Dur::from_millis(20) && d <= Dur::from_millis(30),
+                "{d:?}"
+            );
         }
         assert_eq!(spec.nominal(), Dur::from_millis(25));
     }
@@ -206,7 +213,9 @@ mod tests {
         };
         let mut m = spec.build();
         let mut rng = component_rng(3, 0);
-        let samples: Vec<f64> = (0..20_000).map(|_| m.sample(&mut rng).as_millis_f64()).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| m.sample(&mut rng).as_millis_f64())
+            .collect();
         assert!(samples.iter().all(|&d| d >= 40.0));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
@@ -221,7 +230,9 @@ mod tests {
         };
         let mut m = spec.build();
         let mut rng = component_rng(4, 0);
-        let mut samples: Vec<f64> = (0..20_000).map(|_| m.sample(&mut rng).as_millis_f64()).collect();
+        let mut samples: Vec<f64> = (0..20_000)
+            .map(|_| m.sample(&mut rng).as_millis_f64())
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[samples.len() / 2];
         let p999 = samples[(samples.len() as f64 * 0.999) as usize];

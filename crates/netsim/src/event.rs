@@ -85,7 +85,9 @@ mod tests {
         heap.push(ev(30, 1));
         heap.push(ev(10, 2));
         heap.push(ev(20, 3));
-        let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|e| e.at.as_micros()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop())
+            .map(|e| e.at.as_micros())
+            .collect();
         assert_eq!(order, vec![10_000, 20_000, 30_000]);
     }
 

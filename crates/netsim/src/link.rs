@@ -170,7 +170,7 @@ impl Link {
             }
             let start = now.max(self.busy_until);
             self.busy_until = start + tx;
-            latency = latency + (self.busy_until - now);
+            latency += self.busy_until - now;
         }
 
         self.stats.delivered += 1;
@@ -215,7 +215,10 @@ mod tests {
             .build();
         let mut rng = component_rng(2, 0);
         for i in 0..50 {
-            assert_eq!(link.offer(Time::from_millis(i), 100, &mut rng), LinkOutcome::DroppedLoss);
+            assert_eq!(
+                link.offer(Time::from_millis(i), 100, &mut rng),
+                LinkOutcome::DroppedLoss
+            );
         }
         assert_eq!(link.stats().dropped_loss, 50);
         assert_eq!(link.stats().loss_rate(), 1.0);
@@ -254,7 +257,10 @@ mod tests {
                 dropped += 1;
             }
         }
-        assert!(dropped >= 7, "expected most packets to overflow, dropped {dropped}");
+        assert!(
+            dropped >= 7,
+            "expected most packets to overflow, dropped {dropped}"
+        );
         assert_eq!(link.stats().dropped_queue, dropped);
     }
 

@@ -84,12 +84,21 @@ impl LossSpec {
                 p_bad_to_good,
                 loss_good,
                 loss_bad,
-            } => Box::new(GilbertElliott::new(*p_good_to_bad, *p_bad_to_good, *loss_good, *loss_bad)),
+            } => Box::new(GilbertElliott::new(
+                *p_good_to_bad,
+                *p_bad_to_good,
+                *loss_good,
+                *loss_bad,
+            )),
             LossSpec::Outage(intervals) => Box::new(OutageSchedule::new(intervals.clone())),
-            LossSpec::PeriodicOutage { first, period, duration } => {
-                Box::new(PeriodicOutage::new(*first, *period, *duration))
+            LossSpec::PeriodicOutage {
+                first,
+                period,
+                duration,
+            } => Box::new(PeriodicOutage::new(*first, *period, *duration)),
+            LossSpec::GoogleBurst { p_first, p_next } => {
+                Box::new(GoogleBurst::new(*p_first, *p_next))
             }
-            LossSpec::GoogleBurst { p_first, p_next } => Box::new(GoogleBurst::new(*p_first, *p_next)),
             LossSpec::Compound(specs) => {
                 Box::new(Compound::new(specs.iter().map(|s| s.build()).collect()))
             }
@@ -141,7 +150,9 @@ impl Bernoulli {
     /// Creates a Bernoulli loss model with drop probability `p` (clamped to
     /// `[0, 1]`).
     pub fn new(p: f64) -> Self {
-        Bernoulli { p: p.clamp(0.0, 1.0) }
+        Bernoulli {
+            p: p.clamp(0.0, 1.0),
+        }
     }
 }
 
@@ -190,7 +201,11 @@ impl LossModel for GilbertElliott {
         } else if rng.gen::<f64>() < self.p_good_to_bad {
             self.in_bad = true;
         }
-        let p = if self.in_bad { self.loss_bad } else { self.loss_good };
+        let p = if self.in_bad {
+            self.loss_bad
+        } else {
+            self.loss_good
+        };
         p > 0.0 && rng.gen::<f64>() < p
     }
 }
@@ -232,7 +247,11 @@ impl PeriodicOutage {
     /// Creates the pattern; `period` must be non-zero.
     pub fn new(first: Time, period: Dur, duration: Dur) -> Self {
         assert!(!period.is_zero(), "periodic outage needs a non-zero period");
-        PeriodicOutage { first, period, duration }
+        PeriodicOutage {
+            first,
+            period,
+            duration,
+        }
     }
 }
 
@@ -362,7 +381,10 @@ mod tests {
             }
         }
         let mean_burst = bursts.iter().sum::<usize>() as f64 / bursts.len() as f64;
-        assert!(mean_burst > 2.0, "bursts should be multi-packet, got {mean_burst}");
+        assert!(
+            mean_burst > 2.0,
+            "bursts should be multi-packet, got {mean_burst}"
+        );
     }
 
     #[test]
@@ -396,7 +418,10 @@ mod tests {
     #[test]
     fn google_burst_extends_losses() {
         let d = drops(
-            &LossSpec::GoogleBurst { p_first: 0.01, p_next: 0.5 },
+            &LossSpec::GoogleBurst {
+                p_first: 0.01,
+                p_next: 0.5,
+            },
             200_000,
             7,
         );

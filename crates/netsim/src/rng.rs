@@ -93,7 +93,10 @@ mod tests {
     fn exponential_sampling_matches_mean() {
         let mut rng = component_rng(2, 2);
         let n = 50_000;
-        let mean = (0..n).map(|_| sample_exponential(&mut rng, 55.0)).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| sample_exponential(&mut rng, 55.0))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 55.0).abs() < 2.0, "mean was {mean}");
     }
 

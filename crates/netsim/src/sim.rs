@@ -94,14 +94,28 @@ impl<M: Clone + 'static> SimCore<M> {
     pub(crate) fn send_local(&mut self, node: NodeId, msg: M, delay: Dur) {
         self.stats.messages_sent += 1;
         let at = self.now + delay;
-        self.push(at, EventKind::Deliver { to: node, from: node, msg });
+        self.push(
+            at,
+            EventKind::Deliver {
+                to: node,
+                from: node,
+                msg,
+            },
+        );
     }
 
     pub(crate) fn set_timer(&mut self, node: NodeId, delay: Dur, tag: u64) -> TimerId {
         let id = TimerId(self.next_timer);
         self.next_timer += 1;
         let at = self.now + delay;
-        self.push(at, EventKind::Timer { node, timer: id, tag });
+        self.push(
+            at,
+            EventKind::Timer {
+                node,
+                timer: id,
+                tag,
+            },
+        );
         id
     }
 
@@ -166,7 +180,13 @@ impl<M: Clone + 'static> Simulator<M> {
     }
 
     /// Adds an asymmetric pair of links (e.g. cellular uplink/downlink).
-    pub fn add_asymmetric_link(&mut self, a: NodeId, b: NodeId, forward: LinkSpec, reverse: LinkSpec) {
+    pub fn add_asymmetric_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        forward: LinkSpec,
+        reverse: LinkSpec,
+    ) {
         self.core.links.insert((a, b), forward.build());
         self.core.links.insert((b, a), reverse.build());
     }
@@ -249,7 +269,11 @@ impl<M: Clone + 'static> Simulator<M> {
                 }
                 self.nodes[to.0] = Some(node);
             }
-            EventKind::Timer { node: nid, timer, tag } => {
+            EventKind::Timer {
+                node: nid,
+                timer,
+                tag,
+            } => {
                 if self.core.cancelled.remove(&timer.0) {
                     return true;
                 }
@@ -276,11 +300,7 @@ impl<M: Clone + 'static> Simulator<M> {
     /// processed.
     pub fn run_until(&mut self, deadline: Time) {
         self.start_pending();
-        loop {
-            let next_at = match self.core.queue.peek() {
-                Some(e) => e.at,
-                None => break,
-            };
+        while let Some(next_at) = self.core.queue.peek().map(|e| e.at) {
             if next_at > deadline {
                 break;
             }
@@ -395,7 +415,11 @@ mod tests {
         assert!(stats.messages_dropped_loss > 500);
         let c = sim.node_as::<Client>(client);
         // Each direction loses ~half, so roughly a quarter of pings get pongs.
-        assert!(c.pongs.len() > 300 && c.pongs.len() < 700, "{}", c.pongs.len());
+        assert!(
+            c.pongs.len() > 300 && c.pongs.len() < 700,
+            "{}",
+            c.pongs.len()
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ impl Cdf {
 
     /// Creates a collector from existing samples.
     pub fn from_samples(samples: Vec<f64>) -> Self {
-        Cdf { samples, sorted: false }
+        Cdf {
+            samples,
+            sorted: false,
+        }
     }
 
     /// Adds one sample.

@@ -240,7 +240,10 @@ mod tests {
         let early = Time::from_millis(10);
         let late = Time::from_millis(30);
         assert_eq!((early - late), Dur::ZERO);
-        assert_eq!(Dur::from_millis(5).saturating_sub(Dur::from_millis(9)), Dur::ZERO);
+        assert_eq!(
+            Dur::from_millis(5).saturating_sub(Dur::from_millis(9)),
+            Dur::ZERO
+        );
     }
 
     #[test]
@@ -268,7 +271,10 @@ mod tests {
         assert!(a < b);
         assert_eq!(a.max(b), b);
         assert_eq!(a.min(b), a);
-        assert_eq!(Dur::from_millis(3).max(Dur::from_millis(7)), Dur::from_millis(7));
+        assert_eq!(
+            Dur::from_millis(3).max(Dur::from_millis(7)),
+            Dur::from_millis(7)
+        );
     }
 
     #[test]

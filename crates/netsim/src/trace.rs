@@ -79,7 +79,10 @@ impl DeliveryTrace {
 
     /// Number of sent-but-never-delivered packets.
     pub fn lost_count(&self) -> usize {
-        self.sent.keys().filter(|s| !self.delivered.contains_key(s)).count()
+        self.sent
+            .keys()
+            .filter(|s| !self.delivered.contains_key(s))
+            .count()
     }
 
     /// Overall loss rate.
@@ -121,7 +124,11 @@ impl DeliveryTrace {
 
     /// Extracts maximal runs of consecutive lost sequence numbers.
     pub fn episodes(&self) -> Vec<LossEpisode> {
-        episodes(self.sent.keys().map(|&s| (s, self.delivered.contains_key(&s))))
+        episodes(
+            self.sent
+                .keys()
+                .map(|&s| (s, self.delivered.contains_key(&s))),
+        )
     }
 
     /// Summarises episode contribution to the loss rate (Figure 8(b)).
@@ -252,8 +259,22 @@ mod tests {
             .collect();
         let eps = episodes(delivered);
         assert_eq!(eps.len(), 2);
-        assert_eq!(eps[0], LossEpisode { first_seq: 2, length: 1, kind: EpisodeKind::Random });
-        assert_eq!(eps[1], LossEpisode { first_seq: 5, length: 3, kind: EpisodeKind::MultiPacket });
+        assert_eq!(
+            eps[0],
+            LossEpisode {
+                first_seq: 2,
+                length: 1,
+                kind: EpisodeKind::Random
+            }
+        );
+        assert_eq!(
+            eps[1],
+            LossEpisode {
+                first_seq: 5,
+                length: 3,
+                kind: EpisodeKind::MultiPacket
+            }
+        );
     }
 
     #[test]
@@ -289,9 +310,21 @@ mod tests {
     #[test]
     fn breakdown_contributions_sum_to_one() {
         let eps = vec![
-            LossEpisode { first_seq: 0, length: 1, kind: EpisodeKind::Random },
-            LossEpisode { first_seq: 10, length: 5, kind: EpisodeKind::MultiPacket },
-            LossEpisode { first_seq: 100, length: 20, kind: EpisodeKind::Outage },
+            LossEpisode {
+                first_seq: 0,
+                length: 1,
+                kind: EpisodeKind::Random,
+            },
+            LossEpisode {
+                first_seq: 10,
+                length: 5,
+                kind: EpisodeKind::MultiPacket,
+            },
+            LossEpisode {
+                first_seq: 100,
+                length: 20,
+                kind: EpisodeKind::Outage,
+            },
         ];
         let b = EpisodeBreakdown::from_episodes(&eps);
         assert_eq!(b.total_lost(), 26);

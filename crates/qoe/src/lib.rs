@@ -141,7 +141,10 @@ mod tests {
     use super::*;
 
     fn outcomes(pattern: &[bool]) -> Vec<FrameOutcome> {
-        pattern.iter().map(|&c| FrameOutcome { complete: c }).collect()
+        pattern
+            .iter()
+            .map(|&c| FrameOutcome { complete: c })
+            .collect()
     }
 
     #[test]
@@ -180,16 +183,30 @@ mod tests {
         let model = PsnrModel::default();
         let scores = model.score_frames(&outcomes(&pattern), 3);
         assert!(scores[2] < 30.0);
-        assert!(scores[5] < 32.0, "frame 5 should still be degraded: {}", scores[5]);
-        assert!(scores[13] > 34.0, "frame 13 should have recovered: {}", scores[13]);
+        assert!(
+            scores[5] < 32.0,
+            "frame 5 should still be degraded: {}",
+            scores[5]
+        );
+        assert!(
+            scores[13] > 34.0,
+            "frame 13 should have recovered: {}",
+            scores[13]
+        );
     }
 
     #[test]
     fn scoring_is_deterministic_per_seed() {
         let frames = outcomes(&[true, false, true, true]);
         let model = PsnrModel::default();
-        assert_eq!(model.score_frames(&frames, 9), model.score_frames(&frames, 9));
-        assert_ne!(model.score_frames(&frames, 9), model.score_frames(&frames, 10));
+        assert_eq!(
+            model.score_frames(&frames, 9),
+            model.score_frames(&frames, 9)
+        );
+        assert_ne!(
+            model.score_frames(&frames, 9),
+            model.score_frames(&frames, 10)
+        );
     }
 
     #[test]

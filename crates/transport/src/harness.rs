@@ -42,7 +42,10 @@ impl WebExperimentConfig {
                 Dur::from_millis(100),
                 Dur::from_millis(15),
             )
-            .internet_loss(LossSpec::GoogleBurst { p_first: 0.01, p_next: 0.5 }),
+            .internet_loss(LossSpec::GoogleBurst {
+                p_first: 0.01,
+                p_next: 0.5,
+            }),
             seed,
             per_transfer_timeout: Dur::from_secs(60),
         }
@@ -96,7 +99,12 @@ fn run_single(config: &WebExperimentConfig, index: usize) -> TransferResult {
     // its bursty losses; the thin request/ACK direction uses the same latency
     // without loss.
     let clean_forward = netsim::LinkSpec::with_delay(config.topology.internet.delay.clone());
-    sim.add_asymmetric_link(client, server, clean_forward, config.topology.internet.clone());
+    sim.add_asymmetric_link(
+        client,
+        server,
+        clean_forward,
+        config.topology.internet.clone(),
+    );
 
     if relay_needed {
         // Server → DC1 → DC2 → client, collapsed into a single relay whose
@@ -197,7 +205,10 @@ mod tests {
         // The typical (median) transfer is never hurt by the assistance.
         let plain_p50 = plain.as_slice().fct_quantile(0.5);
         let helped_p50 = helped.as_slice().fct_quantile(0.5);
-        assert!(helped_p50 <= plain_p50 + 0.2, "median got worse: {helped_p50} vs {plain_p50}");
+        assert!(
+            helped_p50 <= plain_p50 + 0.2,
+            "median got worse: {helped_p50} vs {plain_p50}"
+        );
     }
 
     #[test]

@@ -109,9 +109,8 @@ impl JqosAssist {
     pub fn extra_delay(&self) -> Dur {
         match self {
             JqosAssist::None => Dur::ZERO,
-            JqosAssist::FullDuplication { extra_delay } | JqosAssist::SelectiveSynAck { extra_delay } => {
-                *extra_delay
-            }
+            JqosAssist::FullDuplication { extra_delay }
+            | JqosAssist::SelectiveSynAck { extra_delay } => *extra_delay,
         }
     }
 }
@@ -325,11 +324,9 @@ impl Node<TcpMsg> for TcpServer {
                     }
                 }
             }
-            TcpMsg::Request => {
-                if !self.started {
-                    self.started = true;
-                    self.fill_window(ctx);
-                }
+            TcpMsg::Request if !self.started => {
+                self.started = true;
+                self.fill_window(ctx);
             }
             TcpMsg::Ack { cum, sacks } => self.handle_ack(ctx, cum, sacks),
             _ => {}
@@ -448,7 +445,10 @@ impl TcpClient {
             .collect();
         ctx.send_sized(
             self.server,
-            TcpMsg::Ack { cum: self.next_expected, sacks },
+            TcpMsg::Ack {
+                cum: self.next_expected,
+                sacks,
+            },
             40,
         );
     }
@@ -475,14 +475,12 @@ impl Node<TcpMsg> for TcpClient {
 
     fn on_message(&mut self, ctx: &mut Context<'_, TcpMsg>, from: NodeId, msg: TcpMsg) {
         match msg {
-            TcpMsg::SynAck => {
-                if !self.syn_acked {
-                    self.syn_acked = true;
-                    if let Some(t) = self.syn_timer.take() {
-                        ctx.cancel_timer(t);
-                    }
-                    self.send_request(ctx);
+            TcpMsg::SynAck if !self.syn_acked => {
+                self.syn_acked = true;
+                if let Some(t) = self.syn_timer.take() {
+                    ctx.cancel_timer(t);
                 }
+                self.send_request(ctx);
             }
             TcpMsg::Data { seg, .. } => {
                 if self.completed_at.is_some() {
@@ -522,7 +520,9 @@ impl Node<TcpMsg> for TcpClient {
                 self.syn_backoff += 1;
                 self.send_syn(ctx);
             }
-            TIMER_REQUEST if self.next_expected == 0 && self.completed_at.is_none() && self.syn_acked => {
+            TIMER_REQUEST
+                if self.next_expected == 0 && self.completed_at.is_none() && self.syn_acked =>
+            {
                 // No data yet: retransmit the request.
                 self.send_request(ctx);
             }
@@ -562,7 +562,11 @@ mod tests {
             sim.add_link(relay, client, LinkSpec::symmetric(Dur::from_millis(15)));
         }
         // 100 ms one-way direct path with the experiment's loss model.
-        sim.add_link(client, server, LinkSpec::symmetric(Dur::from_millis(100)).loss(loss));
+        sim.add_link(
+            client,
+            server,
+            LinkSpec::symmetric(Dur::from_millis(100)).loss(loss),
+        );
         sim.run_for(Dur::from_secs(120));
         sim.node_as::<TcpClient>(client).completion_time()
     }
@@ -590,7 +594,10 @@ mod tests {
         let mut worst = Dur::ZERO;
         for seed in 0..30 {
             let fct = run_one(
-                LossSpec::GoogleBurst { p_first: 0.02, p_next: 0.5 },
+                LossSpec::GoogleBurst {
+                    p_first: 0.02,
+                    p_next: 0.5,
+                },
                 JqosAssist::None,
                 seed,
             )
@@ -602,14 +609,19 @@ mod tests {
 
     #[test]
     fn full_duplication_caps_the_tail() {
-        let loss = LossSpec::GoogleBurst { p_first: 0.02, p_next: 0.5 };
+        let loss = LossSpec::GoogleBurst {
+            p_first: 0.02,
+            p_next: 0.5,
+        };
         let mut worst_plain = Dur::ZERO;
         let mut worst_jqos = Dur::ZERO;
         for seed in 0..30 {
             let plain = run_one(loss.clone(), JqosAssist::None, seed).unwrap();
             let jqos = run_one(
                 loss.clone(),
-                JqosAssist::FullDuplication { extra_delay: Dur::from_millis(60) },
+                JqosAssist::FullDuplication {
+                    extra_delay: Dur::from_millis(60),
+                },
                 seed,
             )
             .unwrap();
@@ -633,7 +645,9 @@ mod tests {
         let plain = run_one(outage.clone(), JqosAssist::None, 5).unwrap();
         let selective = run_one(
             outage,
-            JqosAssist::SelectiveSynAck { extra_delay: Dur::from_millis(60) },
+            JqosAssist::SelectiveSynAck {
+                extra_delay: Dur::from_millis(60),
+            },
             5,
         )
         .unwrap();
@@ -648,7 +662,13 @@ mod tests {
         let mut sim: Simulator<TcpMsg> = Simulator::new(77);
         let config = TcpConfig::default();
         let client = sim.add_node(TcpClient::new(config, NodeId(1), 20 * 1024));
-        let server = sim.add_node(TcpServer::new(config, JqosAssist::None, client, None, 20 * 1024));
+        let server = sim.add_node(TcpServer::new(
+            config,
+            JqosAssist::None,
+            client,
+            None,
+            20 * 1024,
+        ));
         sim.add_link(
             client,
             server,
@@ -656,6 +676,9 @@ mod tests {
         );
         sim.run_for(Dur::from_secs(120));
         let s = sim.node_as::<TcpServer>(server);
-        assert!(s.retransmissions + s.timeouts > 0, "heavy loss must trigger recovery machinery");
+        assert!(
+            s.retransmissions + s.timeouts > 0,
+            "heavy loss must trigger recovery machinery"
+        );
     }
 }

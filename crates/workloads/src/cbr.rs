@@ -151,7 +151,10 @@ mod tests {
             }
         }
         let long_gaps: Vec<&Dur> = gaps.iter().filter(|g| **g > Dur::from_secs(1)).collect();
-        assert!(!long_gaps.is_empty(), "an OFF gap should appear between ON intervals");
+        assert!(
+            !long_gaps.is_empty(),
+            "an OFF gap should appear between ON intervals"
+        );
         // Scaled mean OFF time is 55 s; the sampled gap should be in a broadly
         // plausible range around that.
         assert!(long_gaps.iter().all(|g| **g < Dur::from_secs(600)));

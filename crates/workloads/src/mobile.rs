@@ -132,7 +132,10 @@ mod tests {
         let lte = MobileProfile::lte_typical();
         let median_rtt = lte.median_dc_latency.as_millis_f64() * 2.0;
         let p90_rtt = lte.p90_dc_latency.as_millis_f64() * 2.0;
-        assert!((50.0..=60.0).contains(&median_rtt), "median rtt {median_rtt}");
+        assert!(
+            (50.0..=60.0).contains(&median_rtt),
+            "median rtt {median_rtt}"
+        );
         assert!((90.0..=110.0).contains(&p90_rtt), "p90 rtt {p90_rtt}");
     }
 

@@ -181,7 +181,10 @@ mod tests {
         let cfg = VideoConfig::skype_call(Dur::from_secs(10));
         let packets = drain(VideoSource::new(cfg), 1);
         // Frames are delimited by the frame-interval gaps.
-        let frames = packets.iter().filter(|(gap, _)| *gap > Dur::from_millis(10)).count();
+        let frames = packets
+            .iter()
+            .filter(|(gap, _)| *gap > Dur::from_millis(10))
+            .count();
         assert_eq!(frames, 120, "12 fps for 10 s");
     }
 
@@ -202,7 +205,10 @@ mod tests {
             }
         }
         per_frame.push(current);
-        assert!(per_frame.iter().all(|&c| (2..=5).contains(&c)), "{per_frame:?}");
+        assert!(
+            per_frame.iter().all(|&c| (2..=5).contains(&c)),
+            "{per_frame:?}"
+        );
     }
 
     #[test]
@@ -219,7 +225,11 @@ mod tests {
 
     #[test]
     fn app_fec_increases_packet_count() {
-        let plain = drain(VideoSource::new(VideoConfig::skype_call(Dur::from_secs(20))), 4).len();
+        let plain = drain(
+            VideoSource::new(VideoConfig::skype_call(Dur::from_secs(20))),
+            4,
+        )
+        .len();
         let fec = drain(
             VideoSource::new(VideoConfig::skype_call_with_fec(Dur::from_secs(20))),
             4,

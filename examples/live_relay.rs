@@ -51,8 +51,10 @@ async fn main() -> std::io::Result<()> {
     println!("direct-path deliveries : {}", stats.direct);
     println!("NACKs sent             : {}", stats.nacks_sent);
     println!("recovered via the DC   : {}", stats.recovered);
-    println!("relay cache size       : {} packets cached, {} recoveries served",
-        relay_stats.cached, relay_stats.recoveries);
+    println!(
+        "relay cache size       : {} packets cached, {} recoveries served",
+        relay_stats.cached, relay_stats.recoveries
+    );
     let complete = (0..199u64).filter(|s| receiver.has(1, *s)).count();
     println!("packets present at app : {complete}/199 (the trailing drop cannot be gap-detected)");
     Ok(())

@@ -16,14 +16,21 @@ fn main() {
 
     for (label, profile) in [
         ("typical LTE (5 Mbps uplink)", MobileProfile::lte_typical()),
-        ("constrained LTE (2 Mbps uplink)", MobileProfile::lte_constrained()),
+        (
+            "constrained LTE (2 Mbps uplink)",
+            MobileProfile::lte_constrained(),
+        ),
     ] {
         let fits = profile.duplication_fits(VideoConfig::HD_RECOMMENDED_BPS);
         let battery = profile.duplication_battery_cost_mah(VideoConfig::HD_RECOMMENDED_BPS, 20.0);
         println!("  {label}:");
         println!(
             "    duplicating a 1.5 Mbps HD call needs 3.0 Mbps of uplink -> {}",
-            if fits { "fits" } else { "does not fit; duplicate selectively instead" }
+            if fits {
+                "fits"
+            } else {
+                "does not fit; duplicate selectively instead"
+            }
         );
         println!("    extra battery over a 20-minute call: {battery:.1} mAh");
         println!(

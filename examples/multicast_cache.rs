@@ -15,8 +15,8 @@ fn hybrid_multicast() {
     println!("--- hybrid multicast: three receivers, lossy Internet paths, one cached copy ---");
     // Three unicast flows from the same logical sender; each receiver has its
     // own lossy direct path, and the cloud copy is cached at DC2.
-    let mut scenario = Scenario::new(11)
-        .with_topology(Topology::wide_area(LossSpec::bursty(0.02, 3.0)));
+    let mut scenario =
+        Scenario::new(11).with_topology(Topology::wide_area(LossSpec::bursty(0.02, 3.0)));
     for i in 0..3 {
         scenario = scenario.add_flow_with_path(
             ServiceKind::Caching,

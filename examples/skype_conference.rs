@@ -45,7 +45,11 @@ fn call(service: ServiceKind) -> (f64, f64, u64) {
     let frames = frames_from_packet_flags(&flags, PACKETS_PER_FRAME);
     let scores = PsnrModel::default().score_frames(&frames, 7);
     let mean = scores.iter().sum::<f64>() / scores.len().max(1) as f64;
-    (mean, fraction_below(&scores, 30.0), report.encoder.coded_bytes)
+    (
+        mean,
+        fraction_below(&scores, 30.0),
+        report.encoder.coded_bytes,
+    )
 }
 
 fn main() {

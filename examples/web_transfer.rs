@@ -23,11 +23,15 @@ fn main() {
         ("plain TCP", JqosAssist::None),
         (
             "TCP + J-QoS full dup",
-            JqosAssist::FullDuplication { extra_delay: Dur::from_millis(60) },
+            JqosAssist::FullDuplication {
+                extra_delay: Dur::from_millis(60),
+            },
         ),
         (
             "TCP + SYN-ACK dup only",
-            JqosAssist::SelectiveSynAck { extra_delay: Dur::from_millis(60) },
+            JqosAssist::SelectiveSynAck {
+                extra_delay: Dur::from_millis(60),
+            },
         ),
     ];
 

@@ -34,13 +34,19 @@ fn crwan_recovers_most_losses_on_a_planetlab_path() {
     let report = scenario.run(Dur::from_secs(40));
 
     let lost: usize = report.flows.iter().map(|f| f.lost_on_direct()).sum();
-    assert!(lost > 50, "the lossy path should drop a noticeable number of packets, got {lost}");
+    assert!(
+        lost > 50,
+        "the lossy path should drop a noticeable number of packets, got {lost}"
+    );
     assert!(
         report.overall_recovery_rate() > 0.75,
         "CR-WAN should recover most losses, got {:.2}",
         report.overall_recovery_rate()
     );
-    assert!(report.dc2.coop_recovered > 0, "recovery must go through cooperative decoding");
+    assert!(
+        report.dc2.coop_recovered > 0,
+        "recovery must go through cooperative decoding"
+    );
     // Judicious use of the cloud: far less WAN traffic than full duplication.
     assert!(
         report.coding_overhead() < 0.9,
@@ -58,11 +64,17 @@ fn forwarding_masks_an_outage_end_to_end() {
         .with_topology(Topology::wide_area(outage))
         .add_flow(
             ServiceKind::Forwarding,
-            Box::new(VideoSource::new(VideoConfig::skype_call(Dur::from_secs(25)))),
+            Box::new(VideoSource::new(VideoConfig::skype_call(Dur::from_secs(
+                25,
+            )))),
         )
         .run(Dur::from_secs(27));
     let flow = &report.flows[0];
-    assert_eq!(flow.unrecovered(), 0, "every packet must arrive via the overlay");
+    assert_eq!(
+        flow.unrecovered(),
+        0,
+        "every packet must arrive via the overlay"
+    );
     assert!(flow.delivered_cloud() > 100);
     // And the cloud-forwarded copies are genuinely attributed to the overlay.
     assert!(flow
@@ -109,7 +121,10 @@ fn scenario_reports_are_deterministic() {
     let run = || {
         let report = Scenario::new(77)
             .with_topology(Topology::wide_area(LossSpec::Bernoulli(0.02)))
-            .add_flow(ServiceKind::Caching, Box::new(OnOffCbrSource::scaled(300, 1)))
+            .add_flow(
+                ServiceKind::Caching,
+                Box::new(OnOffCbrSource::scaled(300, 1)),
+            )
             .run(Dur::from_secs(10));
         let f = &report.flows[0];
         (f.sent(), f.delivered(), f.recovered(), f.nacks_sent)
@@ -124,7 +139,10 @@ fn selective_duplication_reduces_cloud_traffic() {
     let make = |policy: PathPolicy| {
         Scenario::new(55)
             .with_topology(Topology::wide_area(LossSpec::Bernoulli(0.01)))
-            .add_flow(ServiceKind::Caching, Box::new(CbrSource::new(Dur::from_millis(10), 800, 1_000)))
+            .add_flow(
+                ServiceKind::Caching,
+                Box::new(CbrSource::new(Dur::from_millis(10), 800, 1_000)),
+            )
             .with_policy(policy)
             .run(Dur::from_secs(15))
     };

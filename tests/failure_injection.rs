@@ -34,9 +34,12 @@ fn lossy_access_paths_degrade_gracefully_and_straggler_protection_helps() {
     let two = run(2);
     // Nothing hangs and a sensible fraction still gets through in both cases.
     assert!(one.overall_recovery_rate() > 0.3);
-    assert!(two.overall_recovery_rate() > one.overall_recovery_rate() - 0.05,
+    assert!(
+        two.overall_recovery_rate() > one.overall_recovery_rate() - 0.05,
         "two coded packets should not do worse: {:.2} vs {:.2}",
-        two.overall_recovery_rate(), one.overall_recovery_rate());
+        two.overall_recovery_rate(),
+        one.overall_recovery_rate()
+    );
     // Some cooperative recoveries fail silently at the deadline, as §4.4 allows.
     assert!(one.dc2.coop_failed + one.dc2.waiting_expired > 0);
 }
@@ -70,7 +73,10 @@ fn coding_service_survives_a_long_outage() {
     let report = scenario.run(Dur::from_secs(20));
     let flow = &report.flows[0];
     // The outage alone destroys ~120 packets on the direct path.
-    assert!(flow.lost_on_direct() > 100, "outage should hit the direct path");
+    assert!(
+        flow.lost_on_direct() > 100,
+        "outage should hit the direct path"
+    );
     assert!(
         flow.residual_loss_rate() < 0.05,
         "most of the outage must be repaired, residual {:.3}",
@@ -89,7 +95,10 @@ fn recovery_works_with_and_without_nack_checking() {
                 check_before_recovery: check,
                 ..Dc2Config::default()
             })
-            .add_flow(ServiceKind::Caching, Box::new(CbrSource::new(Dur::from_millis(20), 400, 800)))
+            .add_flow(
+                ServiceKind::Caching,
+                Box::new(CbrSource::new(Dur::from_millis(20), 400, 800)),
+            )
             .run(Dur::from_secs(20))
     };
     let with_check = run(true);
@@ -109,7 +118,10 @@ fn clean_paths_use_no_cloud_resources() {
             Dur::from_millis(38),
             Dur::from_millis(5),
         ))
-        .add_flow(ServiceKind::InternetOnly, Box::new(CbrSource::new(Dur::from_millis(10), 512, 500)))
+        .add_flow(
+            ServiceKind::InternetOnly,
+            Box::new(CbrSource::new(Dur::from_millis(10), 512, 500)),
+        )
         .run(Dur::from_secs(10));
     let flow = &report.flows[0];
     assert_eq!(flow.unrecovered(), 0);

@@ -1,0 +1,54 @@
+//! Workspace wiring smoke tests: the umbrella `jqos` crate must expose every
+//! member crate, and the canonical `Scenario` doc example from
+//! `jqos_core::lib` must run through the re-exported prelude.  Doctests only
+//! run when rustdoc does; this makes the same contract a first-class
+//! `#[test]` that every `cargo test` exercises.
+
+use jqos::prelude::*;
+
+/// The `Scenario` example from `crates/jqos-core/src/lib.rs`, driven through
+/// `jqos::prelude` instead of `jqos_core::prelude`.
+#[test]
+fn prelude_runs_the_scenario_doc_example() {
+    let report = Scenario::new(7)
+        .with_topology(Topology::wide_area(LossSpec::Bernoulli(0.01)))
+        .add_flow(
+            ServiceKind::Caching,
+            Box::new(CbrSource::new(Dur::from_millis(20), 400, 200)),
+        )
+        .run(Dur::from_secs(5));
+    assert!(report.flows[0].recovery_rate() > 0.5);
+}
+
+/// Every member crate is reachable through the umbrella re-exports.
+#[test]
+fn umbrella_reexports_every_member_crate() {
+    // jqos::core (jqos-core)
+    let params = jqos::core::coding::params::CodingParams::planetlab_defaults();
+    assert!(params.validate().is_ok());
+
+    // jqos::erasure
+    let rs = jqos::erasure::rs::ReedSolomon::new(5, 1).expect("valid code");
+    let data: Vec<Vec<u8>> = (0..5).map(|i| vec![i as u8; 64]).collect();
+    assert_eq!(rs.encode(&data).expect("encode").len(), 1);
+
+    // jqos::netsim
+    let dur = jqos::netsim::Dur::from_millis(30);
+    assert_eq!(dur.as_micros(), 30_000);
+
+    // jqos::measurements
+    let paths = jqos::measurements::planetlab::planetlab_paths(11);
+    assert!(!paths.is_empty());
+
+    // jqos::qoe
+    let model = jqos::qoe::PsnrModel::default();
+    assert!(model.good_mean > model.frozen_mean);
+
+    // jqos::transport + jqos::workloads compile-time reachability.
+    let _harness_ty = std::any::type_name::<jqos::transport::minitcp::TcpMsg>();
+    let _video_ty = std::any::type_name::<jqos::workloads::video::VideoConfig>();
+
+    // jqos::net (jqos-net): the wire format round-trips.
+    let msg = jqos::net::wire::WireMsg::Nack { flow: 3, seq: 9 };
+    assert_eq!(jqos::net::wire::WireMsg::decode(&msg.encode()), Some(msg));
+}

@@ -1,0 +1,240 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Real proptest shrinks failing inputs and persists regressions; this
+//! stand-in keeps the part that matters for an offline CI gate — running
+//! each property over many seeded random inputs — behind the same surface
+//! syntax: the [`proptest!`] macro with `x in strategy` and `x: Type`
+//! parameter forms, [`ProptestConfig::with_cases`], `prop_assert*!` and
+//! `proptest::collection::vec`.  Inputs are drawn from a fixed-seed
+//! generator, so failures reproduce deterministically (rerun the test to
+//! replay them; there is no shrinking).
+
+use rand::rngs::SmallRng;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Runtime configuration for one `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, u128, usize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+/// The canonical strategy for a type: uniform over its whole domain.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_any_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rand::Rng::gen::<u64>(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_any_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut SmallRng) -> bool {
+        rand::Rng::gen::<bool>(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rand::Rng::gen_range(rng, self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test module needs.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` here: the
+/// stand-in has no shrinking machinery that would need early bail-out).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn` runs `config.cases` times over
+/// seeded random inputs drawn from its parameter strategies.
+#[macro_export]
+macro_rules! proptest {
+    // Entry: explicit config, then one or more test functions.
+    (#![proptest_config($cfg:expr)] $($items:tt)*) => {
+        $crate::proptest!(@items ($cfg); $($items)*);
+    };
+    // Entry: default config.
+    ($(#[$attr:meta])* fn $($items:tt)*) => {
+        $crate::proptest!(@items ($crate::ProptestConfig::default()); $(#[$attr])* fn $($items)*);
+    };
+
+    (@items ($cfg:expr);) => {};
+    (@items ($cfg:expr); $(#[$attr:meta])* fn $name:ident ($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Fixed seed: failures replay on rerun.  Derived from the case
+            // count so differently-sized blocks decorrelate.
+            let mut rng = <$crate::__rand::rngs::SmallRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                0x4A51_6F53_u64 ^ ((config.cases as u64) << 32),
+            );
+            for _ in 0..config.cases {
+                $crate::proptest!(@run rng; ($($params)*); $body);
+            }
+        }
+        $crate::proptest!(@items ($cfg); $($rest)*);
+    };
+
+    // Bind every parameter from its strategy, then run the body.
+    (@run $rng:ident; (); $body:block) => { $body };
+    (@run $rng:ident; ($n:ident in $strat:expr); $body:block) => {
+        { let $n = $crate::Strategy::generate(&($strat), &mut $rng); $body }
+    };
+    (@run $rng:ident; ($n:ident in $strat:expr, $($rest:tt)*); $body:block) => {
+        { let $n = $crate::Strategy::generate(&($strat), &mut $rng); $crate::proptest!(@run $rng; ($($rest)*); $body); }
+    };
+    (@run $rng:ident; ($n:ident : $ty:ty); $body:block) => {
+        { let $n = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng); $body }
+    };
+    (@run $rng:ident; ($n:ident : $ty:ty, $($rest:tt)*); $body:block) => {
+        { let $n = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng); $crate::proptest!(@run $rng; ($($rest)*); $body); }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_ascriptions_bind(x in 1usize..10, y: u8, flags in crate::collection::vec(any::<bool>(), 0..5)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(flags.len() < 5);
+            let _ = y;
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0u32..4, 10u64..20)) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((10..20).contains(&pair.1));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..100) {
+            prop_assert_ne!(x, 100);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the one shape this workspace uses —
+//! structs with named fields — without depending on `syn`/`quote` (which are
+//! unavailable offline).  The macro walks the raw token stream: it skips
+//! attributes and visibility, records the struct name, then collects field
+//! names (the identifier preceding each `:` at angle-bracket depth zero
+//! inside the body braces).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by rendering each named field into an entry of
+/// a `serde::Value::Object`, in declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]` / doc comments) and visibility.
+    let mut name = None;
+    let mut body = None;
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Ident(id) if *id.to_string() == *"struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => return Err(format!("expected struct name, got {other:?}")),
+                }
+                // The next brace group is the field list (no generics are
+                // used on serialised structs in this workspace).
+                for rest in tokens.by_ref() {
+                    if let TokenTree::Group(g) = &rest {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                    }
+                    if let TokenTree::Punct(p) = &rest {
+                        if p.as_char() == ';' {
+                            return Err(
+                                "derive(Serialize) stub supports only named-field structs".into()
+                            );
+                        }
+                    }
+                }
+                break;
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"enum" => {
+                return Err("derive(Serialize) stub supports only named-field structs".into());
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.ok_or("no struct found in derive input")?;
+    let body = body.ok_or("struct has no brace-delimited field list")?;
+    let fields = field_names(body)?;
+
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("(String::from({f:?}), serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .map_err(|e| format!("generated impl failed to parse: {e:?}"))
+}
+
+/// Extracts field names from a named-field struct body: for each
+/// comma-separated chunk (at angle-bracket depth 0), the identifier
+/// immediately before the first `:`.
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut field_done = false;
+
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if angle_depth == 0 && !field_done => {
+                    if let Some(name) = last_ident.take() {
+                        fields.push(name);
+                        field_done = true;
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    field_done = false;
+                    last_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if !field_done => {
+                let s = id.to_string();
+                // `pub` (and `r#` raw prefixes do not occur here) is
+                // visibility, not a field name.
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if fields.is_empty() {
+        return Err("struct has no named fields to serialise".into());
+    }
+    Ok(fields)
+}

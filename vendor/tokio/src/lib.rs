@@ -1,0 +1,27 @@
+//! Offline stand-in for the `tokio` crate.
+//!
+//! The jqos-net prototype and the `live_relay` example only need a small
+//! slice of tokio: `spawn`, `JoinHandle`, `time::{sleep, timeout}`,
+//! `net::UdpSocket` and the `#[tokio::main]` / `#[tokio::test]` macros.
+//! This stand-in provides that slice on a deliberately simple execution
+//! model:
+//!
+//! * [`runtime::block_on`] drives one future on the current thread with a
+//!   park/unpark waker;
+//! * [`spawn`] runs each task on its own OS thread under its own
+//!   `block_on` (thread-per-task — no work stealing, no reactor);
+//! * [`net::UdpSocket`] wraps a std UDP socket with a short read timeout,
+//!   so pending reads re-poll every few milliseconds instead of registering
+//!   with an event loop.
+//!
+//! This trades throughput for zero dependencies, which is the right trade
+//! for loopback demos and integration tests in an offline build
+//! environment.
+
+pub mod net;
+pub mod runtime;
+pub mod task;
+pub mod time;
+
+pub use task::{spawn, JoinError, JoinHandle};
+pub use tokio_macros::{main, test};

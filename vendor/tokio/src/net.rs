@@ -1,0 +1,103 @@
+//! Async UDP on top of std sockets.
+
+use std::future::Future;
+use std::io;
+use std::net::SocketAddr;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::time::POLL_SLICE;
+
+/// A UDP socket usable from async code.
+///
+/// Reads use a short OS-level read timeout: a pending `recv_from` blocks its
+/// task thread for one slice, then re-polls.  Sends go straight through (UDP
+/// sends do not meaningfully block).
+pub struct UdpSocket {
+    inner: std::net::UdpSocket,
+}
+
+impl UdpSocket {
+    /// Binds a socket to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port).
+    pub async fn bind(addr: &str) -> io::Result<UdpSocket> {
+        let inner = std::net::UdpSocket::bind(addr)?;
+        inner.set_read_timeout(Some(POLL_SLICE))?;
+        Ok(UdpSocket { inner })
+    }
+
+    /// The local address the socket is bound to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Receives one datagram, waiting until one arrives.
+    pub fn recv_from<'a>(&'a self, buf: &'a mut [u8]) -> RecvFrom<'a> {
+        RecvFrom {
+            socket: &self.inner,
+            buf,
+        }
+    }
+
+    /// Sends one datagram to `target`.
+    pub async fn send_to(&self, buf: &[u8], target: SocketAddr) -> io::Result<usize> {
+        self.inner.send_to(buf, target)
+    }
+}
+
+/// Future returned by [`UdpSocket::recv_from`].
+pub struct RecvFrom<'a> {
+    socket: &'a std::net::UdpSocket,
+    buf: &'a mut [u8],
+}
+
+impl Future for RecvFrom<'_> {
+    type Output = io::Result<(usize, SocketAddr)>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = self.get_mut();
+        match me.socket.recv_from(me.buf) {
+            Ok(ok) => Poll::Ready(Ok(ok)),
+            // The read timeout surfaces as WouldBlock or TimedOut depending
+            // on the platform; both just mean "nothing yet".
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on;
+    use std::time::Duration;
+
+    #[test]
+    fn loopback_datagram_round_trip() {
+        block_on(async {
+            let a = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let b = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let b_addr = b.local_addr().unwrap();
+            a.send_to(b"ping", b_addr).await.unwrap();
+            let mut buf = [0u8; 16];
+            let (len, from) = b.recv_from(&mut buf).await.unwrap();
+            assert_eq!(&buf[..len], b"ping");
+            assert_eq!(from, a.local_addr().unwrap());
+        });
+    }
+
+    #[test]
+    fn recv_timeout_via_time_timeout() {
+        block_on(async {
+            let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let mut buf = [0u8; 16];
+            let r = crate::time::timeout(Duration::from_millis(30), sock.recv_from(&mut buf)).await;
+            assert!(r.is_err(), "no sender, so the timeout must fire");
+        });
+    }
+}

@@ -1,0 +1,117 @@
+//! Task spawning: one OS thread per task.
+
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// The task panicked (or was cancelled — the stand-in never cancels).
+pub struct JoinError {
+    message: String,
+}
+
+impl std::fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JoinError({})", self.message)
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+struct Shared<T> {
+    result: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+}
+
+/// An owned handle to a spawned task; awaiting it yields the task's output.
+pub struct JoinHandle<T> {
+    shared: Arc<Mutex<Shared<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Requests cancellation.  The stand-in runs tasks on detached OS
+    /// threads, which cannot be interrupted safely, so this is a no-op: the
+    /// task keeps running in the background and is reaped at process exit.
+    /// Call sites only abort infinite server loops right before exiting, so
+    /// the observable behaviour matches tokio.
+    pub fn abort(&self) {}
+
+    /// Whether the task has finished.
+    pub fn is_finished(&self) -> bool {
+        self.shared.lock().unwrap().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut shared = self.shared.lock().unwrap();
+        if let Some(result) = shared.result.take() {
+            Poll::Ready(result)
+        } else {
+            shared.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Spawns a future on a dedicated OS thread, driven by its own `block_on`.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let shared = Arc::new(Mutex::new(Shared {
+        result: None,
+        waker: None,
+    }));
+    let task_shared = shared.clone();
+    std::thread::Builder::new()
+        .name("tokio-stub-task".into())
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| crate::runtime::block_on(future)))
+                .map_err(|panic| JoinError {
+                    message: panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "task panicked".into()),
+                });
+            let mut shared = task_shared.lock().unwrap();
+            shared.result = Some(result);
+            if let Some(waker) = shared.waker.take() {
+                waker.wake();
+            }
+        })
+        .expect("spawn task thread");
+    JoinHandle { shared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on;
+
+    #[test]
+    fn spawned_task_result_is_awaitable() {
+        let out = block_on(async {
+            let h = spawn(async { 6 * 7 });
+            h.await.unwrap()
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn panicking_task_yields_join_error() {
+        let err = block_on(async { spawn(async { panic!("boom") }).await });
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Timers: `sleep` and `timeout`.
+//!
+//! Without a reactor there is nothing to register deadlines with, so
+//! pending timer futures self-wake after briefly blocking their (dedicated)
+//! task thread.  Granularity is a few milliseconds — ample for the loopback
+//! tests this runtime exists to serve.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
+
+/// How long a pending timer/IO future blocks before re-polling.
+pub(crate) const POLL_SLICE: Duration = Duration::from_millis(2);
+
+/// Error returned by [`timeout`] when the deadline elapses first.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Future returned by [`sleep`].
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let now = Instant::now();
+        if now >= self.deadline {
+            return Poll::Ready(());
+        }
+        // Block this task thread for up to one slice, then re-poll.
+        std::thread::sleep((self.deadline - now).min(POLL_SLICE));
+        cx.waker().wake_by_ref();
+        Poll::Pending
+    }
+}
+
+/// Waits until `duration` has elapsed.
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + duration,
+    }
+}
+
+/// Future returned by [`timeout`].
+pub struct Timeout<F> {
+    future: Pin<Box<F>>,
+    deadline: Instant,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Poll::Ready(v) = self.future.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(Err(Elapsed(())));
+        }
+        // The inner future self-wakes (every pending primitive in this
+        // stand-in does), so the deadline is re-checked promptly.
+        cx.waker().wake_by_ref();
+        Poll::Pending
+    }
+}
+
+/// Requires `future` to complete within `duration`.
+pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+    Timeout {
+        future: Box::pin(future),
+        deadline: Instant::now() + duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on;
+
+    #[test]
+    fn sleep_waits_at_least_the_requested_time() {
+        let start = Instant::now();
+        block_on(sleep(Duration::from_millis(20)));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn timeout_passes_through_fast_futures() {
+        let v = block_on(timeout(Duration::from_secs(1), async { 5 })).unwrap();
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn timeout_fires_on_slow_futures() {
+        let r = block_on(timeout(
+            Duration::from_millis(10),
+            sleep(Duration::from_secs(5)),
+        ));
+        assert!(r.is_err());
+    }
+}

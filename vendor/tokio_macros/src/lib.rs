@@ -1,0 +1,80 @@
+//! Offline stand-in for `tokio-macros`.
+//!
+//! Rewrites `async fn` items so they run under the stand-in runtime's
+//! `block_on`.  The transformation is purely token-level (no `syn`): the
+//! item's final brace group is the body; everything before it is the
+//! signature, from which the single top-level `async` keyword is dropped.
+//! Runtime-configuration attribute arguments (`flavor`, `worker_threads`,
+//! ...) are accepted and ignored — the stand-in runtime is thread-per-task.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// `#[tokio::main]`: turns `async fn main()` into a sync `fn main` that
+/// drives the future to completion on the stand-in runtime.
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    wrap_async_fn(item, false)
+}
+
+/// `#[tokio::test]`: like [`main`], plus the standard `#[test]` attribute.
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    wrap_async_fn(item, true)
+}
+
+fn wrap_async_fn(item: TokenStream, is_test: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // The body is the trailing brace group; the signature is everything
+    // before it, minus the `async` qualifier.
+    let Some((TokenTree::Group(body), sig)) = tokens.split_last() else {
+        return error("expected a function item");
+    };
+    if body.delimiter() != Delimiter::Brace {
+        return error("expected a function with a brace-delimited body");
+    }
+    let mut saw_async = false;
+    let signature: TokenStream = sig
+        .iter()
+        .filter(|tt| {
+            if let TokenTree::Ident(id) = tt {
+                if !saw_async && id.to_string() == "async" {
+                    saw_async = true;
+                    return false;
+                }
+            }
+            true
+        })
+        .cloned()
+        .collect();
+    if !saw_async {
+        return error("#[tokio::main]/#[tokio::test] requires an async fn");
+    }
+
+    // `::tokio::runtime::block_on(async move { <body> })`
+    let mut call_args = TokenStream::new();
+    call_args.extend("async move".parse::<TokenStream>().unwrap());
+    call_args.extend([TokenTree::Group(body.clone())]);
+    let mut fn_body = TokenStream::new();
+    fn_body.extend("::tokio::runtime::block_on".parse::<TokenStream>().unwrap());
+    fn_body.extend([TokenTree::Group(Group::new(
+        Delimiter::Parenthesis,
+        call_args,
+    ))]);
+
+    let mut out = TokenStream::new();
+    if is_test {
+        out.extend(
+            "#[::core::prelude::v1::test]"
+                .parse::<TokenStream>()
+                .unwrap(),
+        );
+    }
+    out.extend(signature);
+    out.extend([TokenTree::Group(Group::new(Delimiter::Brace, fn_body))]);
+    out
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
