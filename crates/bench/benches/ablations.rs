@@ -7,21 +7,39 @@
 //! * one vs two cross-stream coded packets per batch (straggler protection
 //!   costs one extra parity computation),
 //! * end-to-end scenario throughput with the coding vs caching service.
+//!
+//! Every ablation point is expressed as a one-point [`ExperimentSuite`] grid
+//! and measured through `suite.run(1)`, so these benches track the cost of
+//! the exact code path the figure sweeps execute (scenario construction,
+//! per-point seeding, report aggregation) rather than a bespoke loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use jqos_core::prelude::*;
+use netsim::stats::PointStats;
 
-fn scenario_report(service: ServiceKind, coding: CodingParams, seed: u64) -> ScenarioReport {
-    let mut scenario = Scenario::new(seed)
-        .with_topology(Topology::wide_area(LossSpec::bursty(0.01, 3.0)))
-        .with_coding(coding);
-    for _ in 0..4 {
-        scenario = scenario.add_flow(
-            service,
-            Box::new(CbrSource::new(Dur::from_millis(20), 512, 250)),
-        );
-    }
-    scenario.run(Dur::from_secs(6))
+/// A one-point suite running four flows of `service` with `coding` over a
+/// bursty wide-area path — the shared scenario of all ablation groups.
+fn scenario_suite(
+    service: ServiceKind,
+    coding: CodingParams,
+    seed: u64,
+) -> ExperimentSuite<impl Fn(&SweepPoint) -> PointStats + Sync> {
+    let grid = SweepGrid::new().seeds([seed]);
+    ExperimentSuite::new("ablation", seed, grid, move |point| {
+        let mut scenario = Scenario::new(point.scenario_seed())
+            .with_topology(Topology::wide_area(LossSpec::bursty(0.01, 3.0)))
+            .with_coding(coding);
+        for _ in 0..4 {
+            scenario = scenario.add_flow(
+                service,
+                Box::new(CbrSource::new(Dur::from_millis(20), 512, 250)),
+            );
+        }
+        let report = scenario.run(Dur::from_secs(6));
+        PointStats::new("")
+            .metric("recovery_rate", report.overall_recovery_rate())
+            .metric("coding_overhead", report.coding_overhead())
+    })
 }
 
 fn bench_in_stream_ablation(c: &mut Criterion) {
@@ -36,7 +54,8 @@ fn bench_in_stream_ablation(c: &mut Criterion) {
                     in_stream_enabled: in_stream,
                     ..CodingParams::planetlab_defaults()
                 };
-                b.iter(|| scenario_report(ServiceKind::Coding, coding, 11));
+                let suite = scenario_suite(ServiceKind::Coding, coding, 11);
+                b.iter(|| suite.run(1));
             },
         );
     }
@@ -54,7 +73,8 @@ fn bench_batch_width(c: &mut Criterion) {
                 in_stream_enabled: false,
                 ..CodingParams::planetlab_defaults()
             };
-            b.iter(|| scenario_report(ServiceKind::Coding, coding, 13));
+            let suite = scenario_suite(ServiceKind::Coding, coding, 13);
+            b.iter(|| suite.run(1));
         });
     }
     group.finish();
@@ -73,7 +93,8 @@ fn bench_straggler_protection(c: &mut Criterion) {
                     in_stream_enabled: false,
                     ..CodingParams::planetlab_defaults()
                 };
-                b.iter(|| scenario_report(ServiceKind::Coding, coding, 17));
+                let suite = scenario_suite(ServiceKind::Coding, coding, 17);
+                b.iter(|| suite.run(1));
             },
         );
     }
@@ -92,7 +113,8 @@ fn bench_service_comparison(c: &mut Criterion) {
             BenchmarkId::from_parameter(service.to_string()),
             &service,
             |b, &service| {
-                b.iter(|| scenario_report(service, CodingParams::planetlab_defaults(), 19));
+                let suite = scenario_suite(service, CodingParams::planetlab_defaults(), 19);
+                b.iter(|| suite.run(1));
             },
         );
     }

@@ -2,9 +2,33 @@
 //! number of encoder threads grows.  The figure binary (`fig10_scaling`)
 //! prints the Kpps table; this bench tracks the same operation with
 //! statistical rigour so regressions in the encoder show up in CI.
+//!
+//! The thread axis is expressed as the same one-point-per-config
+//! [`ExperimentSuite`] grid the figure uses, so the measured path includes
+//! the sweep harness the figures run through.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use jqos_core::coding::engine::{EncodingEngine, EngineConfig};
+use jqos_core::{ExperimentSuite, SweepGrid, SweepPoint};
+use netsim::stats::PointStats;
+
+/// One-point suite running the encoder with `threads` internal workers.
+fn engine_suite(
+    threads: usize,
+    packets: u64,
+) -> ExperimentSuite<impl Fn(&SweepPoint) -> PointStats + Sync> {
+    let grid = SweepGrid::new().variants(vec![(format!("threads{threads}"), threads as u64)]);
+    ExperimentSuite::new("fig10_bench", 0, grid, move |point| {
+        let engine = EncodingEngine::new(EngineConfig {
+            threads: point.variant as usize,
+            block_size: 5,
+            parity: 1,
+            packet_bytes: 512,
+        });
+        let report = engine.run(packets);
+        PointStats::new("").metric("ingress_pps", report.ingress_pps())
+    })
+}
 
 fn bench_encoding_threads(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_encoding_scaling");
@@ -16,13 +40,8 @@ fn bench_encoding_threads(c: &mut Criterion) {
             BenchmarkId::from_parameter(threads),
             &threads,
             |b, &threads| {
-                let engine = EncodingEngine::new(EngineConfig {
-                    threads,
-                    block_size: 5,
-                    parity: 1,
-                    packet_bytes: 512,
-                });
-                b.iter(|| engine.run(packets_per_iter));
+                let suite = engine_suite(threads, packets_per_iter);
+                b.iter(|| suite.run(1));
             },
         );
     }

@@ -12,6 +12,8 @@ use jqos_core::packet::{DataPacket, FlowId};
 use jqos_core::recovery::markov::{DetectorConfig, LossDetector};
 use jqos_core::services::caching::{CacheConfig, PacketCache};
 use jqos_core::services::forwarding::{ForwardingTable, NextHop};
+use jqos_core::{ExperimentSuite, SweepGrid};
+use netsim::stats::PointStats;
 use netsim::{Dur, NodeId, Time};
 
 fn bench_reed_solomon(c: &mut Criterion) {
@@ -114,12 +116,36 @@ fn bench_forwarding_table(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sweep_harness(c: &mut Criterion) {
+    // Fixed per-point cost of the sweep harness itself (grid expansion, seed
+    // derivation, slot bookkeeping, report aggregation) with a trivial
+    // runner: the overhead every grid point of the figure suites pays on top
+    // of its scenario.
+    let mut group = c.benchmark_group("sweep_harness");
+    for points in [16usize, 256] {
+        group.throughput(Throughput::Elements(points as u64));
+        group.bench_with_input(
+            BenchmarkId::new("dispatch", points),
+            &points,
+            |b, &points| {
+                let suite =
+                    ExperimentSuite::new("noop", 1, SweepGrid::new().replicates(points), |point| {
+                        PointStats::new("").metric("seed", point.scenario_seed() as f64)
+                    });
+                b.iter(|| suite.run(1));
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_reed_solomon,
     bench_packet_cache,
     bench_coding_queues,
     bench_loss_detector,
-    bench_forwarding_table
+    bench_forwarding_table,
+    bench_sweep_harness
 );
 criterion_main!(benches);

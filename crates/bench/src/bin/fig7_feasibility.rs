@@ -1,95 +1,10 @@
 //! Figure 7 — feasibility of the J-QoS services (§6.1).
 //!
-//! * 7(a): CDF of end-to-end packet delivery latency for the direct Internet
-//!   path and the forwarding / caching / coding services.
-//! * 7(b): recovery delay as a fraction of the direct-path RTT for caching
-//!   and coding.
-//! * 7(c): CDF of end-host → nearest-DC latency (δ) for European receivers.
-//! * 7(d): δ for northern-EU hosts against the DC generation serving them.
-
-use jqos_bench::harness::{section, sized, write_json, Series};
-use measurements::dc_history::northern_eu_delta_by_era;
-use measurements::ripe::ripe_atlas_paths;
+//! Thin wrapper: the experiment itself lives in
+//! [`jqos_bench::figures::fig7`] as an `ExperimentSuite` grid, shared with
+//! the umbrella CLI's `jqos sweep --fig` subcommand.  Worker-thread count
+//! comes from `JQOS_SWEEP_THREADS` or the machine's available parallelism.
 
 fn main() {
-    let n_paths = sized(6250, 500);
-    let seed = 42;
-    let paths = ripe_atlas_paths(n_paths, seed);
-
-    section("Figure 7(a): end-to-end delivery latency (ms)");
-    let fig7a = vec![
-        Series::from_samples("Internet", paths.iter().map(|p| p.y_ms).collect()),
-        Series::from_samples(
-            "Forwarding",
-            paths.iter().map(|p| p.forwarding_ms()).collect(),
-        ),
-        Series::from_samples("Caching", paths.iter().map(|p| p.caching_ms()).collect()),
-        Series::from_samples("Coding", paths.iter().map(|p| p.coding_ms()).collect()),
-    ];
-    for s in &fig7a {
-        s.print_row();
-    }
-    let coding_p95 = fig7a[3]
-        .percentiles
-        .iter()
-        .find(|(q, _)| *q == 0.95)
-        .unwrap()
-        .1;
-    println!("  -> coding p95 = {coding_p95:.1} ms (paper: caching/coding within 150 ms for 95% of paths)");
-    write_json("fig7a_delivery_latency", &fig7a);
-
-    section("Figure 7(b): recovery delay / RTT");
-    let fig7b = vec![
-        Series::from_samples(
-            "Caching",
-            paths
-                .iter()
-                .map(|p| p.caching_recovery_fraction())
-                .collect(),
-        ),
-        Series::from_samples(
-            "Coding",
-            paths.iter().map(|p| p.coding_recovery_fraction()).collect(),
-        ),
-    ];
-    for s in &fig7b {
-        s.print_row();
-    }
-    let frac = |series: &Series, x: f64| {
-        series
-            .cdf
-            .iter()
-            .filter(|(v, _)| *v <= x)
-            .map(|(_, f)| *f)
-            .fold(0.0, f64::max)
-    };
-    println!(
-        "  -> caching within 0.25 RTT: {:.0}%   coding within 0.25 RTT: {:.0}% (paper: ~70% vs ~10%)",
-        frac(&fig7b[0], 0.25) * 100.0,
-        frac(&fig7b[1], 0.25) * 100.0
-    );
-    write_json("fig7b_recovery_fraction", &fig7b);
-
-    section("Figure 7(c): end host to DC latency δ (ms), European receivers");
-    let fig7c = Series::from_samples("Europe", paths.iter().map(|p| p.delta_r_ms).collect());
-    fig7c.print_row();
-    let below10 = paths.iter().filter(|p| p.delta_r_ms < 10.0).count() as f64 / paths.len() as f64;
-    let above20 = paths.iter().filter(|p| p.delta_r_ms > 20.0).count() as f64 / paths.len() as f64;
-    println!(
-        "  -> {:.0}% of paths have δ < 10 ms, {:.0}% have δ > 20 ms (paper: 55% and 15%)",
-        below10 * 100.0,
-        above20 * 100.0
-    );
-    write_json("fig7c_delta", &fig7c);
-
-    section("Figure 7(d): δ to the nearest DC for northern-EU hosts, by era");
-    let eras = northern_eu_delta_by_era(sized(2000, 300), seed);
-    let fig7d: Vec<Series> = eras
-        .iter()
-        .map(|(era, samples)| Series::from_samples(era.label(), samples.clone()))
-        .collect();
-    for s in &fig7d {
-        s.print_row();
-    }
-    write_json("fig7d_delta_by_era", &fig7d);
+    jqos_bench::figures::fig7::run(jqos_core::default_threads());
 }

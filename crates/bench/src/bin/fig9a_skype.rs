@@ -1,180 +1,10 @@
 //! Figure 9(a) — Skype video-conferencing QoE under an outage (§6.3).
 //!
-//! A video call runs over a wide-area path that suffers a 30-second outage in
-//! the middle.  Four delivery configurations are compared, as in the paper:
-//!
-//! * **Internet** — the call rides the direct path only; the outage destroys
-//!   30 seconds of frames.
-//! * **Fwd** — every packet is duplicated over the cloud overlay (forwarding
-//!   service); the outage is fully masked.
-//! * **CR-WAN** — only cross-stream coded packets cross the cloud (`r = 1/4`,
-//!   `k = 4`, in-stream disabled because the application runs its own FEC);
-//!   losses are repaired by cooperative recovery with three ~200 kbps
-//!   background flows.
-//! * **CR-WAN-Mobile** — the same, with the sender behind a cellular uplink
-//!   (§6.5 latencies and a 5 Mbps cap).
-//!
-//! Packet outcomes are mapped to frames and scored with the PSNR model; the
-//! output is the per-frame PSNR CDF of each configuration plus the bandwidth
-//! comparison (CR-WAN uses a small fraction of forwarding's cloud bytes).
-
-use jqos_bench::harness::{section, sized, write_json, Series};
-use jqos_core::prelude::*;
-use qoe::{fraction_below, frames_from_packet_flags, PsnrModel};
-use serde::Serialize;
-use workloads::mobile::MobileProfile;
-use workloads::video::{VideoConfig, VideoSource};
-
-const PACKETS_PER_FRAME: usize = 3;
-
-#[derive(Serialize)]
-struct SkypeResult {
-    label: String,
-    mean_psnr: f64,
-    bad_frame_fraction: f64,
-    delivered_fraction: f64,
-    cloud_bytes: u64,
-    cloud_packets: u64,
-    coded_bytes: u64,
-}
-
-struct RunOutput {
-    series: Series,
-    result: SkypeResult,
-}
-
-fn outage_loss(call_secs: u64) -> LossSpec {
-    // Background random loss plus a 30-second outage in the middle of the call.
-    let start = call_secs / 2;
-    LossSpec::Compound(vec![
-        LossSpec::Bernoulli(0.001),
-        LossSpec::Outage(vec![(Time::from_secs(start), Time::from_secs(start + 30))]),
-    ])
-}
-
-fn run_call(
-    label: &str,
-    service: ServiceKind,
-    mobile: bool,
-    call_secs: u64,
-    seed: u64,
-) -> RunOutput {
-    let topology = if mobile {
-        MobileProfile::lte_typical().topology(outage_loss(call_secs))
-    } else {
-        Topology::wide_area(outage_loss(call_secs))
-    };
-
-    let coding = CodingParams::skype_case_study();
-    let duration = Dur::from_secs(call_secs);
-
-    let mut scenario = Scenario::new(seed)
-        .with_topology(topology)
-        .with_coding(coding)
-        .add_flow(
-            service,
-            Box::new(VideoSource::new(VideoConfig::skype_call_with_fec(duration))),
-        );
-    // Three background flows provide cross-stream companions (only relevant
-    // for the coding service, harmless otherwise).
-    for _ in 0..3 {
-        scenario = scenario.add_flow_with_path(
-            ServiceKind::Coding,
-            Box::new(VideoSource::new(VideoConfig::background_200kbps(duration))),
-            LinkSpec::symmetric(Dur::from_millis(70)).loss(LossSpec::Bernoulli(0.002)),
-        );
-    }
-
-    let report = scenario.run(duration + Dur::from_secs(2));
-    let flow = &report.flows[0];
-    if std::env::var("JQOS_DEBUG").is_ok() {
-        eprintln!(
-            "[debug {label}] dc2={:?} lost_direct={} recovered={} nacks={}",
-            report.dc2,
-            flow.lost_on_direct(),
-            flow.recovered(),
-            flow.nacks_sent
-        );
-    }
-
-    // Frame outcomes: a packet counts if it arrived within an interactive
-    // playout budget (400 ms one-way).
-    let budget = Dur::from_millis(400);
-    let flags: Vec<bool> = flow
-        .packets
-        .iter()
-        .map(|p| p.delivered_within(budget))
-        .collect();
-    let frames = frames_from_packet_flags(&flags, PACKETS_PER_FRAME);
-    let scores = PsnrModel::default().score_frames(&frames, seed);
-
-    let result = SkypeResult {
-        label: label.to_string(),
-        mean_psnr: scores.iter().sum::<f64>() / scores.len().max(1) as f64,
-        bad_frame_fraction: fraction_below(&scores, 30.0),
-        delivered_fraction: flow.delivered() as f64 / flow.sent().max(1) as f64,
-        cloud_bytes: flow.cloud_bytes,
-        cloud_packets: flow.cloud_copies,
-        coded_bytes: report.encoder.coded_bytes,
-    };
-    RunOutput {
-        series: Series::from_samples(label, scores),
-        result,
-    }
-}
+//! Thin wrapper: the experiment itself lives in
+//! [`jqos_bench::figures::fig9a`] as an `ExperimentSuite` grid, shared with
+//! the umbrella CLI's `jqos sweep --fig` subcommand.  Worker-thread count
+//! comes from `JQOS_SWEEP_THREADS` or the machine's available parallelism.
 
 fn main() {
-    let call_secs = sized(180, 70) as u64;
-    let seed = 31;
-
-    let runs = vec![
-        run_call(
-            "Internet",
-            ServiceKind::InternetOnly,
-            false,
-            call_secs,
-            seed,
-        ),
-        run_call("Fwd", ServiceKind::Forwarding, false, call_secs, seed),
-        run_call("CR-WAN", ServiceKind::Coding, false, call_secs, seed),
-        run_call("CR-WAN-Mobile", ServiceKind::Coding, true, call_secs, seed),
-    ];
-
-    section("Figure 9(a): per-frame PSNR during a call with a 30 s outage");
-    for r in &runs {
-        r.series.print_row();
-    }
-
-    section("QoE and bandwidth summary");
-    println!(
-        "  {:<16} {:>10} {:>12} {:>12} {:>14} {:>14}",
-        "scheme", "mean PSNR", "bad frames", "delivered", "cloud payload", "coded bytes"
-    );
-    for r in &runs {
-        println!(
-            "  {:<16} {:>10.1} {:>11.1}% {:>11.1}% {:>13} B {:>13} B",
-            r.result.label,
-            r.result.mean_psnr,
-            r.result.bad_frame_fraction * 100.0,
-            r.result.delivered_fraction * 100.0,
-            r.result.cloud_bytes,
-            r.result.coded_bytes
-        );
-    }
-
-    // The paper's bandwidth claim: CR-WAN sends ~13% as many packets/bytes on
-    // the inter-DC path as the forwarding service.
-    let fwd = &runs[1].result;
-    let crwan = &runs[2].result;
-    if fwd.cloud_bytes > 0 {
-        println!(
-            "  -> CR-WAN inter-DC bytes / forwarding inter-DC bytes: {:.1}% (paper: 13.6%)",
-            100.0 * crwan.coded_bytes as f64 / fwd.cloud_bytes as f64
-        );
-    }
-
-    let results: Vec<&SkypeResult> = runs.iter().map(|r| &r.result).collect();
-    write_json("fig9a_skype_psnr", &results);
-    let series: Vec<&Series> = runs.iter().map(|r| &r.series).collect();
-    write_json("fig9a_skype_psnr_cdf", &series);
+    jqos_bench::figures::fig9a::run(jqos_core::default_threads());
 }

@@ -1,186 +1,10 @@
 //! Figure 9(b) — TCP flow-completion times with and without J-QoS (§6.4).
 //!
-//! Repeats the Google-study web-transfer experiment: 50 KB responses over a
-//! 200 ms-RTT path with bursty loss (p_first = 0.01, p_next = 0.5).  Three
-//! configurations are compared:
-//!
-//! * plain TCP over the Internet path,
-//! * TCP with J-QoS full duplication (every server packet recoverable via the
-//!   cloud),
-//! * TCP with selective duplication of the SYN-ACK only.
-//!
-//! The binary also reproduces the §6.4 ablation of the receiver's two-state
-//! Markov timeout model: compared with a single fixed timeout, the two-state
-//! model sends several times fewer NACKs on a TCP-like bursty arrival
-//! pattern.
-
-use jqos_bench::harness::{section, sized, write_json, Series};
-use jqos_core::packet::NackReason;
-use jqos_core::recovery::markov::{DetectorConfig, DetectorState, LossDetector};
-use netsim::{Dur, Time};
-use serde::Serialize;
-use transport::harness::{run_web_transfers, TransferBatch, WebExperimentConfig};
-use transport::minitcp::JqosAssist;
-
-#[derive(Serialize)]
-struct TcpResult {
-    label: String,
-    transfers: usize,
-    p50_s: f64,
-    p90_s: f64,
-    p99_s: f64,
-    p999_s: f64,
-    max_s: f64,
-    tail_reduction_vs_internet_pct: f64,
-    timeouts: u64,
-    retransmissions: u64,
-}
-
-fn run_mode(label: &str, assist: JqosAssist, transfers: usize, seed: u64) -> (TcpResult, Vec<f64>) {
-    let config = WebExperimentConfig::google_study(transfers, assist, seed);
-    let results = run_web_transfers(&config);
-    let fcts = results.as_slice().fcts_secs();
-    let r = TcpResult {
-        label: label.to_string(),
-        transfers,
-        p50_s: results.as_slice().fct_quantile(0.50),
-        p90_s: results.as_slice().fct_quantile(0.90),
-        p99_s: results.as_slice().fct_quantile(0.99),
-        p999_s: results.as_slice().fct_quantile(0.999),
-        max_s: results.as_slice().fct_quantile(1.0),
-        tail_reduction_vs_internet_pct: 0.0,
-        timeouts: results.iter().map(|r| r.timeouts).sum(),
-        retransmissions: results.iter().map(|r| r.retransmissions).sum(),
-    };
-    (r, fcts)
-}
-
-/// Counts NACK-producing timeouts of the loss detector over a TCP-like
-/// arrival trace: bursts of back-to-back segments (one cwnd worth) separated
-/// by an RTT of silence, repeated across several short transfers.
-fn count_detector_timeouts(config: DetectorConfig) -> u64 {
-    let mut detector = LossDetector::new(config);
-    let mut nacks = 0u64;
-    let mut now = Time::ZERO;
-    let rtt = Dur::from_millis(200);
-    for _transfer in 0..200 {
-        let mut window = 4u64;
-        let mut remaining = 36i64;
-        while remaining > 0 {
-            // A window of segments arrives back-to-back (~1 ms apart).
-            for _ in 0..window.min(remaining as u64) {
-                now += Dur::from_millis(1);
-                detector.on_arrival(now);
-            }
-            remaining -= window as i64;
-            // Silence until the next window arrives (one RTT).  Every timer
-            // expiry during that silence produces a (spurious) NACK; the
-            // two-state model fires its short timer once and then backs off
-            // to the RTT-scale timer, while a single fixed 25 ms timer keeps
-            // firing throughout the gap.
-            let mut silence = rtt;
-            loop {
-                let timeout = detector.current_timeout();
-                if timeout >= silence {
-                    break;
-                }
-                silence = silence - timeout;
-                now += timeout;
-                let (reason, _) = detector.on_timeout(now);
-                debug_assert!(matches!(
-                    reason,
-                    NackReason::ShortTimeout | NackReason::LongTimeout
-                ));
-                nacks += 1;
-            }
-            now += silence;
-            window = (window * 2).min(64);
-        }
-        // Idle gap between transfers.
-        now += Dur::from_secs(2);
-        debug_assert!(matches!(
-            detector.state(),
-            DetectorState::Idle | DetectorState::Burst
-        ));
-    }
-    nacks
-}
+//! Thin wrapper: the experiment itself lives in
+//! [`jqos_bench::figures::fig9b`] as an `ExperimentSuite` grid, shared with
+//! the umbrella CLI's `jqos sweep --fig` subcommand.  Worker-thread count
+//! comes from `JQOS_SWEEP_THREADS` or the machine's available parallelism.
 
 fn main() {
-    let transfers = sized(10_000, 300);
-    let seed = 99;
-
-    section("Figure 9(b): flow completion times (seconds)");
-    let assist_delay = Dur::from_millis(60);
-    let (mut internet, internet_fcts) = run_mode("Internet", JqosAssist::None, transfers, seed);
-    let (mut crwan, crwan_fcts) = run_mode(
-        "CR-WAN (full dup)",
-        JqosAssist::FullDuplication {
-            extra_delay: assist_delay,
-        },
-        transfers,
-        seed,
-    );
-    let (mut selective, selective_fcts) = run_mode(
-        "Selective (SYN-ACK)",
-        JqosAssist::SelectiveSynAck {
-            extra_delay: assist_delay,
-        },
-        transfers,
-        seed,
-    );
-    let base_tail = internet.p99_s;
-    internet.tail_reduction_vs_internet_pct = 0.0;
-    crwan.tail_reduction_vs_internet_pct = (1.0 - crwan.p99_s / base_tail) * 100.0;
-    selective.tail_reduction_vs_internet_pct = (1.0 - selective.p99_s / base_tail) * 100.0;
-
-    let rows = vec![&internet, &crwan, &selective];
-    println!(
-        "  {:<22} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12} {:>10}",
-        "scheme", "p50", "p90", "p99", "p99.9", "max", "tail vs TCP", "timeouts"
-    );
-    for r in &rows {
-        println!(
-            "  {:<22} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>11.0}% {:>10}",
-            r.label,
-            r.p50_s,
-            r.p90_s,
-            r.p99_s,
-            r.p999_s,
-            r.max_s,
-            r.tail_reduction_vs_internet_pct,
-            r.timeouts
-        );
-    }
-    println!(
-        "  -> paper: Internet tail reaches ~9 s; full duplication cuts the tail by ~83%, SYN-ACK-only by ~33%"
-    );
-
-    let series = vec![
-        Series::from_samples("Internet", internet_fcts),
-        Series::from_samples("CR-WAN", crwan_fcts),
-        Series::from_samples("Selective", selective_fcts),
-    ];
-    for s in &series {
-        s.print_row();
-    }
-    write_json("fig9b_tcp_fct", &rows);
-    write_json("fig9b_tcp_fct_cdf", &series);
-
-    section("§6.4 ablation: two-state Markov timeout vs a single fixed timeout");
-    let rtt = Dur::from_millis(200);
-    let two_state = count_detector_timeouts(DetectorConfig::prototype(rtt));
-    let single = count_detector_timeouts(DetectorConfig::single_timeout(Dur::from_millis(25)));
-    let ratio = single as f64 / two_state.max(1) as f64;
-    println!("  two-state Markov model timeouts : {two_state}");
-    println!("  single 25 ms timeout timeouts   : {single}");
-    println!("  -> reduction factor: {ratio:.1}x (paper: ~5x fewer NACKs)");
-    write_json(
-        "sec64_nack_ablation",
-        &serde_json::json!({
-            "two_state": two_state,
-            "single_timeout": single,
-            "reduction_factor": ratio,
-        }),
-    );
+    jqos_bench::figures::fig9b::run(jqos_core::default_threads());
 }

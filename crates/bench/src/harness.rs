@@ -3,7 +3,8 @@
 use std::fs;
 use std::path::PathBuf;
 
-use netsim::stats::Cdf;
+use jqos_core::{ExperimentSuite, SuiteReport, SweepPoint};
+use netsim::stats::{Cdf, PointStats};
 use serde::Serialize;
 
 /// Where figure data files are written.
@@ -90,6 +91,119 @@ impl Series {
 pub fn section(title: &str) {
     println!();
     println!("=== {title} ===");
+}
+
+/// Wall-clock of one sweep point, as serialised into `BENCH_sweep_*.json`.
+#[derive(Serialize)]
+pub struct PointTiming {
+    /// The point's grid label.
+    pub label: String,
+    /// Wall-clock milliseconds the point took.
+    pub wall_ms: f64,
+}
+
+/// Timing summary of one [`ExperimentSuite`] execution, written to
+/// `BENCH_sweep_<suite>.json` so sweep speedups are tracked alongside the
+/// figure data.
+#[derive(Serialize)]
+pub struct SweepTiming {
+    /// Suite name.
+    pub suite: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Number of grid points executed.
+    pub points: usize,
+    /// End-to-end wall-clock of the sweep (ms).
+    pub total_wall_ms: f64,
+    /// Sum of per-point wall-clocks (serial-equivalent work, ms).
+    pub busy_ms: f64,
+    /// `busy_ms / total_wall_ms`: observed parallel speedup.
+    pub effective_parallelism: f64,
+    /// Wall-clock of the 1-thread verification run, when one was made.
+    pub baseline_1thread_ms: Option<f64>,
+    /// `baseline_1thread_ms / total_wall_ms`, when a baseline ran.
+    pub speedup_vs_1thread: Option<f64>,
+    /// Whether the N-thread report was byte-identical to the 1-thread replay.
+    pub deterministic_replay: Option<bool>,
+    /// Per-point wall-clocks, in grid order.
+    pub per_point: Vec<PointTiming>,
+}
+
+/// Builds the serialisable timing summary of a finished sweep.
+pub fn sweep_timing(out: &SuiteReport) -> SweepTiming {
+    SweepTiming {
+        suite: out.name.clone(),
+        threads: out.threads,
+        points: out.point_wall_ms.len(),
+        total_wall_ms: out.total_wall_ms,
+        busy_ms: out.busy_ms(),
+        effective_parallelism: out.effective_parallelism(),
+        baseline_1thread_ms: None,
+        speedup_vs_1thread: None,
+        deterministic_replay: None,
+        per_point: out
+            .point_labels
+            .iter()
+            .zip(&out.point_wall_ms)
+            .map(|(label, &wall_ms)| PointTiming {
+                label: label.clone(),
+                wall_ms,
+            })
+            .collect(),
+    }
+}
+
+/// Writes a sweep's timing summary as `BENCH_sweep_<suite>.json`.
+pub fn write_sweep_timing(timing: &SweepTiming) {
+    write_json(&format!("BENCH_sweep_{}", timing.suite), timing);
+}
+
+/// Executes a suite on `threads` workers, prints its per-point / aggregate
+/// wall-clock summary and records `BENCH_sweep_<suite>.json`.
+///
+/// When more than one worker is used and either quick mode or
+/// `JQOS_SWEEP_BASELINE` is set, the sweep is replayed on a single thread and
+/// the two reports are asserted byte-identical — the deterministic-replay
+/// guarantee — with the measured speedup printed alongside.
+pub fn run_suite<R>(suite: &ExperimentSuite<R>, threads: usize) -> SuiteReport
+where
+    R: Fn(&SweepPoint) -> PointStats + Sync,
+{
+    let out = suite.run(threads);
+    out.print_timing_summary();
+    let mut timing = sweep_timing(&out);
+    // JQOS_SWEEP_BASELINE is authoritative when set ("0"/"false" disables,
+    // anything else enables); unset falls back to quick mode, where the
+    // replay is cheap enough to run on every sweep.
+    let verify = out.threads > 1
+        && match std::env::var("JQOS_SWEEP_BASELINE") {
+            Ok(v) => !matches!(v.trim(), "0" | "false" | ""),
+            Err(_) => quick_mode(),
+        };
+    if verify {
+        let baseline = suite.run(1);
+        let speedup = baseline.total_wall_ms / out.total_wall_ms.max(1e-9);
+        let identical = baseline.digest() == out.digest();
+        println!(
+            "  [sweep {}] 1-thread baseline {:.1} ms -> {:.2}x speedup on {} threads; deterministic replay: {}",
+            suite.name(),
+            baseline.total_wall_ms,
+            speedup,
+            out.threads,
+            if identical { "OK" } else { "MISMATCH" },
+        );
+        timing.baseline_1thread_ms = Some(baseline.total_wall_ms);
+        timing.speedup_vs_1thread = Some(speedup);
+        timing.deterministic_replay = Some(identical);
+        assert!(
+            identical,
+            "sweep '{}' diverged between 1-thread and {}-thread execution",
+            suite.name(),
+            out.threads
+        );
+    }
+    write_sweep_timing(&timing);
+    out
 }
 
 #[cfg(test)]

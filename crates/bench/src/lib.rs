@@ -16,5 +16,13 @@
 //! under `target/figures/` so `EXPERIMENTS.md` can be regenerated.  Criterion
 //! benches (`encoding_scaling`, `services_micro`, `ablations`) cover the
 //! performance-oriented measurements.
+//!
+//! Each figure is defined as an [`jqos_core::ExperimentSuite`] in
+//! [`figures`]: a declarative grid of scenario points executed across worker
+//! threads with deterministic per-point seeding, so an `N`-thread sweep is
+//! byte-identical to a 1-thread replay.  The binaries are thin wrappers; the
+//! same suites back the umbrella CLI's `jqos sweep --fig <id>` subcommand.
+//! Per-sweep wall-clock timing lands in `target/figures/BENCH_sweep_*.json`.
 
+pub mod figures;
 pub mod harness;

@@ -269,5 +269,24 @@ mod tests {
             prop_assert_eq!(div(mul(a, b), b), a);
             prop_assert_eq!(mul(div(a, b), b), a);
         }
+
+        /// The multiplicative-inverse laws: `a · a⁻¹ = 1`, `(a⁻¹)⁻¹ = a`,
+        /// and division is multiplication by the inverse.
+        #[test]
+        fn prop_inverse_laws(a in 1u8..=255, b in 1u8..=255) {
+            prop_assert_eq!(mul(a, inv(a)), 1);
+            prop_assert_eq!(inv(inv(a)), a);
+            prop_assert_eq!(div(a, b), mul(a, inv(b)));
+            // Inverses distribute over products: (ab)⁻¹ = a⁻¹ b⁻¹.
+            prop_assert_eq!(inv(mul(a, b)), mul(inv(a), inv(b)));
+        }
+
+        /// `pow` respects the exponent laws of the multiplicative group
+        /// (order 255).
+        #[test]
+        fn prop_pow_laws(a in 1u8..=255, n in 0u32..600, m in 0u32..600) {
+            prop_assert_eq!(mul(pow(a, n), pow(a, m)), pow(a, n + m));
+            prop_assert_eq!(pow(a, n + 255), pow(a, n));
+        }
     }
 }

@@ -423,6 +423,63 @@ mod tests {
             }
         }
 
+        /// Roundtrip over *random* payload bytes: for arbitrary `k` data
+        /// shards and `r` parity shards, dropping any ≤ `r` shards (chosen by
+        /// a random erasure pattern) reconstructs the original payload
+        /// bit-exactly.
+        #[test]
+        fn prop_random_payload_roundtrips_bit_exactly(
+            k in 1usize..10,
+            r in 1usize..5,
+            len in 1usize..96,
+            payload in proptest::collection::vec(any::<u8>(), 1..960),
+            picks in proptest::collection::vec(any::<u64>(), 0..8),
+        ) {
+            let rs = ReedSolomon::new(k, r).unwrap();
+            // Shape the arbitrary payload into k equally sized shards.
+            let data: Vec<Vec<u8>> = (0..k)
+                .map(|i| (0..len).map(|j| payload[(i * len + j) % payload.len()]).collect())
+                .collect();
+            let all = rs.encode_all(&data).unwrap();
+            let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+            // Drop up to r distinct shards anywhere in the batch.
+            for pick in picks.iter().take(r) {
+                shards[(*pick as usize) % (k + r)] = None;
+            }
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, orig) in all.iter().enumerate() {
+                prop_assert_eq!(shards[i].as_deref(), Some(&orig[..]), "shard {}", i);
+            }
+            // And the reconstructed set verifies as consistent.
+            let full: Vec<Vec<u8>> = shards.into_iter().map(|s| s.unwrap()).collect();
+            prop_assert!(rs.verify(&full).unwrap());
+        }
+
+        /// Parity is a pure function of the data: re-encoding reconstructed
+        /// data yields the original parity shards.
+        #[test]
+        fn prop_reencoding_reconstructed_data_reproduces_parity(
+            k in 2usize..8,
+            r in 1usize..4,
+            len in 1usize..64,
+            seed: u8,
+        ) {
+            let rs = ReedSolomon::new(k, r).unwrap();
+            let data = sample_data(k, len, seed);
+            let parity = rs.encode(&data).unwrap();
+            // Drop the first data shard, rebuild it, re-encode.
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(parity.iter().cloned().map(Some))
+                .collect();
+            shards[0] = None;
+            rs.reconstruct_data(&mut shards).unwrap();
+            let rebuilt: Vec<Vec<u8>> = shards[..k].iter().map(|s| s.clone().unwrap()).collect();
+            prop_assert_eq!(rs.encode(&rebuilt).unwrap(), parity);
+        }
+
         /// Cooperative-recovery shape: one coded packet plus k-1 of the data
         /// packets always rebuilds the single missing data packet.
         #[test]

@@ -13,7 +13,7 @@
 //! configured `queue_timeout` is flushed even when not full, bounding the
 //! encoding delay for slow flows (end of §4.3).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::{NodeId, Time};
 
@@ -105,10 +105,14 @@ pub struct PlanStats {
 #[derive(Clone, Debug)]
 pub struct CodingQueues {
     params: CodingParams,
-    flows: HashMap<FlowId, FlowInfo>,
-    in_stream: HashMap<FlowId, Queue>,
-    cross: HashMap<NodeId, Vec<Queue>>,
-    rr_index: HashMap<FlowId, usize>,
+    // BTreeMaps, not HashMaps: `flush_expired`/`flush_all` iterate these and
+    // the emission order of ready batches feeds the simulator's event
+    // schedule — hash-iteration order would inject non-seeded entropy and
+    // break same-process replay determinism.
+    flows: BTreeMap<FlowId, FlowInfo>,
+    in_stream: BTreeMap<FlowId, Queue>,
+    cross: BTreeMap<NodeId, Vec<Queue>>,
+    rr_index: BTreeMap<FlowId, usize>,
     stats: PlanStats,
 }
 
@@ -118,10 +122,10 @@ impl CodingQueues {
         params.validate().expect("invalid coding parameters");
         CodingQueues {
             params,
-            flows: HashMap::new(),
-            in_stream: HashMap::new(),
-            cross: HashMap::new(),
-            rr_index: HashMap::new(),
+            flows: BTreeMap::new(),
+            in_stream: BTreeMap::new(),
+            cross: BTreeMap::new(),
+            rr_index: BTreeMap::new(),
             stats: PlanStats::default(),
         }
     }

@@ -7,6 +7,11 @@
 //! [`Scenario`] builder constructs that world; [`ScenarioReport`] exposes the
 //! per-packet outcomes needed to reproduce the figures (delivery latency,
 //! recovery rate, recovery delay, loss-episode structure, overhead).
+//!
+//! The [`sweep`] submodule turns single scenarios into declarative grids
+//! ([`sweep::SweepGrid`]) executed in parallel by [`sweep::ExperimentSuite`].
+
+pub mod sweep;
 
 use netsim::prelude::*;
 use netsim::trace::{DeliveryTrace, EpisodeBreakdown};
@@ -104,7 +109,14 @@ impl Scenario {
     /// Builds the simulator, runs it for `duration` (plus a drain period for
     /// in-flight recoveries) and collects the report.
     pub fn run(self, duration: Dur) -> ScenarioReport {
-        let mut sim: Simulator<Msg> = Simulator::new(self.seed);
+        // Pre-size the simulator so per-sweep-point construction is one
+        // allocation each for the node table and the event heap: 2 DC nodes
+        // plus a sender and receiver per flow, and an event backlog that in
+        // practice stays within a few thousand entries even for the densest
+        // figure scenarios.
+        let nodes_hint = 2 + 2 * self.flows.len();
+        let events_hint = (64 * self.flows.len()).clamp(256, 8_192);
+        let mut sim: Simulator<Msg> = Simulator::with_capacity(self.seed, nodes_hint, events_hint);
         let topo = &self.topology;
 
         // The DC nodes are added first so their ids are known when flows are
@@ -166,8 +178,11 @@ impl Scenario {
         sim.run_for(duration);
         sim.run_for(rtt * 4 + Dur::from_millis(500));
 
-        // Collect per-flow reports.
+        // Collect per-flow reports.  The delivery trace is recycled across
+        // flows (cleared, not re-allocated) since only its episode breakdown
+        // outlives the loop.
         let mut flows = Vec::new();
+        let mut trace = DeliveryTrace::new();
         for w in &wirings {
             let (sent_log, sender_stats) = {
                 let s = sim.node_as::<SenderNode>(w.sender);
@@ -182,8 +197,8 @@ impl Scenario {
                 )
             };
 
-            let mut trace = DeliveryTrace::new();
-            let mut packets = Vec::new();
+            trace.clear();
+            let mut packets = Vec::with_capacity(sent_log.len());
             for (seq, sent_at, size) in &sent_log {
                 trace.record_sent(*seq, *sent_at);
                 let delivery = deliveries.iter().find(|(s, _)| s == seq).map(|(_, d)| *d);
@@ -284,7 +299,7 @@ impl PacketOutcome {
 }
 
 /// Per-flow results of a scenario run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FlowReport {
     /// The flow.
     pub flow: FlowId,
@@ -434,7 +449,7 @@ impl FlowReport {
 }
 
 /// Results of a scenario run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioReport {
     /// Per-flow reports, in the order flows were added.
     pub flows: Vec<FlowReport>,

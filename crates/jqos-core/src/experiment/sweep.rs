@@ -1,0 +1,553 @@
+//! Declarative scenario grids executed across worker threads.
+//!
+//! Every figure of the paper's evaluation is some sweep over scenario
+//! parameters: seeds, loss models, service mixes, coding parameters, or a
+//! figure-specific free axis (a path index, a thread count, a configuration
+//! id).  [`SweepGrid`] expresses that sweep declaratively as the cartesian
+//! product of its axes; [`ExperimentSuite`] executes the resulting
+//! [`SweepPoint`]s across worker threads (vendored crossbeam scoped threads)
+//! and aggregates the per-point [`PointStats`] into a
+//! [`netsim::stats::SweepReport`].
+//!
+//! # Determinism
+//!
+//! Each point derives its randomness from `(master_seed, point_index)` —
+//! never from which worker ran it or in what order — so an `N`-thread run is
+//! byte-identical to a single-thread run of the same grid
+//! ([`SweepReport::render_deterministic`] compares equal).  Wall-clock timing
+//! is reported separately in [`SuiteReport`] and is deliberately excluded
+//! from the deterministic output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use netsim::loss::LossSpec;
+use netsim::rng::{component_rng, derive_seed};
+use netsim::stats::{PointStats, SweepReport};
+use rand::rngs::SmallRng;
+
+use crate::coding::params::CodingParams;
+use crate::select::ServiceKind;
+
+/// One entry of a labelled axis.
+#[derive(Clone, Debug)]
+struct AxisEntry<T> {
+    label: String,
+    value: T,
+}
+
+fn axis<T>(entries: Vec<(String, T)>) -> Vec<AxisEntry<T>> {
+    entries
+        .into_iter()
+        .map(|(label, value)| AxisEntry { label, value })
+        .collect()
+}
+
+/// A declarative grid of scenario points: the cartesian product of a seed
+/// axis, a loss-model axis, a service-mix axis, a coding-parameter axis and a
+/// figure-specific free `variant` axis.
+///
+/// Axes left untouched contribute a single neutral (unlabelled) entry, so a
+/// grid only multiplies along the dimensions an experiment actually sweeps.
+/// Point order is the deterministic nested-loop order with `variants`
+/// outermost and `seeds` innermost.
+#[derive(Clone, Debug)]
+pub struct SweepGrid {
+    seeds: Vec<u64>,
+    loss: Vec<AxisEntry<LossSpec>>,
+    mixes: Vec<AxisEntry<Vec<ServiceKind>>>,
+    coding: Vec<AxisEntry<CodingParams>>,
+    variants: Vec<AxisEntry<u64>>,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        SweepGrid::new()
+    }
+}
+
+impl SweepGrid {
+    /// A 1×1×1×1×1 grid (one point, all axes neutral).
+    pub fn new() -> Self {
+        SweepGrid {
+            seeds: vec![0],
+            loss: axis(vec![(String::new(), LossSpec::None)]),
+            mixes: axis(vec![(String::new(), Vec::new())]),
+            coding: axis(vec![(String::new(), CodingParams::default())]),
+            variants: axis(vec![(String::new(), 0)]),
+        }
+    }
+
+    /// Replaces the seed axis (one replicate per seed value).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        assert!(!self.seeds.is_empty(), "seed axis must not be empty");
+        self
+    }
+
+    /// Shorthand for `count` consecutive replicate seeds `0..count`.
+    pub fn replicates(self, count: usize) -> Self {
+        self.seeds(0..count as u64)
+    }
+
+    /// Replaces the loss-model axis.
+    pub fn loss_models(mut self, entries: Vec<(impl Into<String>, LossSpec)>) -> Self {
+        assert!(!entries.is_empty(), "loss axis must not be empty");
+        self.loss = axis(entries.into_iter().map(|(l, v)| (l.into(), v)).collect());
+        self
+    }
+
+    /// Replaces the service-mix axis (each entry is the ordered list of
+    /// services for the scenario's flows).
+    pub fn service_mixes(mut self, entries: Vec<(impl Into<String>, Vec<ServiceKind>)>) -> Self {
+        assert!(!entries.is_empty(), "service-mix axis must not be empty");
+        self.mixes = axis(entries.into_iter().map(|(l, v)| (l.into(), v)).collect());
+        self
+    }
+
+    /// Replaces the coding-parameter axis.
+    pub fn coding_params(mut self, entries: Vec<(impl Into<String>, CodingParams)>) -> Self {
+        assert!(!entries.is_empty(), "coding axis must not be empty");
+        self.coding = axis(entries.into_iter().map(|(l, v)| (l.into(), v)).collect());
+        self
+    }
+
+    /// Replaces the free variant axis (figure-specific: a path index, an
+    /// engine thread count, a configuration id, ...).
+    pub fn variants(mut self, entries: Vec<(impl Into<String>, u64)>) -> Self {
+        assert!(!entries.is_empty(), "variant axis must not be empty");
+        self.variants = axis(entries.into_iter().map(|(l, v)| (l.into(), v)).collect());
+        self
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+            * self.loss.len()
+            * self.mixes.len()
+            * self.coding.len()
+            * self.variants.len()
+    }
+
+    /// `true` only for a degenerate grid (never: axes are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialises the grid into points, stamping each with the suite's
+    /// master seed and its own index.
+    fn points(&self, master_seed: u64) -> Vec<SweepPoint> {
+        let mut out = Vec::with_capacity(self.len());
+        for (variant_idx, variant) in self.variants.iter().enumerate() {
+            for (coding_idx, coding) in self.coding.iter().enumerate() {
+                for (mix_idx, mix) in self.mixes.iter().enumerate() {
+                    for (loss_idx, loss) in self.loss.iter().enumerate() {
+                        for (seed_idx, &seed) in self.seeds.iter().enumerate() {
+                            out.push(SweepPoint {
+                                index: out.len(),
+                                master_seed,
+                                seed,
+                                seed_idx,
+                                loss: loss.value.clone(),
+                                loss_label: loss.label.clone(),
+                                loss_idx,
+                                mix: mix.value.clone(),
+                                mix_label: mix.label.clone(),
+                                mix_idx,
+                                coding: coding.value,
+                                coding_label: coding.label.clone(),
+                                coding_idx,
+                                variant: variant.value,
+                                variant_label: variant.label.clone(),
+                                variant_idx,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One fully resolved point of a [`SweepGrid`].
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Position in grid order (stable across runs and thread counts).
+    pub index: usize,
+    /// The suite's master seed.
+    pub master_seed: u64,
+    /// Seed-axis value.
+    pub seed: u64,
+    /// Index into the seed axis.
+    pub seed_idx: usize,
+    /// Loss-model axis value.
+    pub loss: LossSpec,
+    /// Loss-model axis label (empty on the neutral axis).
+    pub loss_label: String,
+    /// Index into the loss axis.
+    pub loss_idx: usize,
+    /// Service-mix axis value.
+    pub mix: Vec<ServiceKind>,
+    /// Service-mix axis label.
+    pub mix_label: String,
+    /// Index into the service-mix axis.
+    pub mix_idx: usize,
+    /// Coding-parameter axis value.
+    pub coding: CodingParams,
+    /// Coding-parameter axis label.
+    pub coding_label: String,
+    /// Index into the coding axis.
+    pub coding_idx: usize,
+    /// Free-axis value.
+    pub variant: u64,
+    /// Free-axis label.
+    pub variant_label: String,
+    /// Index into the variant axis.
+    pub variant_idx: usize,
+}
+
+impl SweepPoint {
+    /// The scenario seed for this point, derived from
+    /// `(master_seed, point_index)` and the seed-axis value — independent of
+    /// worker threads and execution order.
+    pub fn scenario_seed(&self) -> u64 {
+        derive_seed(derive_seed(self.master_seed, self.index as u64), self.seed)
+    }
+
+    /// A seed that is identical for points sharing a seed-axis value,
+    /// whatever their position on the other axes.  Use this instead of
+    /// [`SweepPoint::scenario_seed`] for *paired* comparisons — e.g. running
+    /// the same path (seed axis) under two coding variants against the same
+    /// loss realisation, so the variant delta is not polluted by seed noise.
+    pub fn paired_seed(&self) -> u64 {
+        derive_seed(self.master_seed, self.seed)
+    }
+
+    /// A `SmallRng` private to this point, for runners that need randomness
+    /// outside the simulator (e.g. synthetic path generation).
+    ///
+    /// Drawn from a reserved stream so it never collides with the node RNG
+    /// streams (raw node indices) of a simulator seeded with
+    /// [`SweepPoint::scenario_seed`] — the same separation links get from
+    /// [`netsim::rng::link_stream`].
+    pub fn rng(&self) -> SmallRng {
+        const POINT_RNG_STREAM: u64 = 0x504F_494E_5452_4E47; // "POINTRNG"
+        component_rng(self.scenario_seed(), POINT_RNG_STREAM)
+    }
+
+    /// Human-readable label joining the non-neutral axis labels.
+    pub fn label(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for axis_label in [
+            &self.variant_label,
+            &self.coding_label,
+            &self.mix_label,
+            &self.loss_label,
+        ] {
+            if !axis_label.is_empty() {
+                parts.push(axis_label.clone());
+            }
+        }
+        parts.push(format!("s{}", self.seed));
+        parts.join("/")
+    }
+}
+
+/// Picks the worker-thread count for a sweep: `JQOS_SWEEP_THREADS` if set,
+/// otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("JQOS_SWEEP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A named experiment: a grid plus the runner that turns one point into its
+/// [`PointStats`].
+///
+/// The runner must be a pure function of the point (all randomness through
+/// [`SweepPoint::scenario_seed`] / [`SweepPoint::rng`]); the suite then
+/// guarantees that any thread count produces the identical report.
+pub struct ExperimentSuite<R>
+where
+    R: Fn(&SweepPoint) -> PointStats + Sync,
+{
+    name: String,
+    master_seed: u64,
+    grid: SweepGrid,
+    runner: R,
+}
+
+impl<R> ExperimentSuite<R>
+where
+    R: Fn(&SweepPoint) -> PointStats + Sync,
+{
+    /// Creates a suite.
+    pub fn new(name: impl Into<String>, master_seed: u64, grid: SweepGrid, runner: R) -> Self {
+        ExperimentSuite {
+            name: name.into(),
+            master_seed,
+            grid,
+            runner,
+        }
+    }
+
+    /// The suite's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of grid points the suite will execute.
+    pub fn point_count(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Executes every grid point on `threads` worker threads and returns the
+    /// aggregated report plus timing.
+    ///
+    /// Results land in a slot vector indexed by point, so completion order —
+    /// which does depend on scheduling — never leaks into the report.
+    pub fn run(&self, threads: usize) -> SuiteReport {
+        let points = self.grid.points(self.master_seed);
+        let n = points.len();
+        let threads = threads.max(1).min(n.max(1));
+        let started = Instant::now();
+
+        let mut outcomes: Vec<Option<(PointStats, f64)>> = Vec::with_capacity(n);
+        if threads == 1 {
+            for point in &points {
+                outcomes.push(Some(Self::run_point(&self.runner, point)));
+            }
+        } else {
+            let slots: Mutex<Vec<Option<(PointStats, f64)>>> = Mutex::new(vec![None; n]);
+            let cursor = AtomicUsize::new(0);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        let outcome = Self::run_point(&self.runner, &points[idx]);
+                        slots.lock().expect("sweep slot lock")[idx] = Some(outcome);
+                    });
+                }
+            })
+            .expect("sweep worker panicked");
+            outcomes = slots.into_inner().expect("sweep slot lock");
+        }
+
+        let total_wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+        let mut report = SweepReport::new();
+        let mut point_wall_ms = Vec::with_capacity(n);
+        let mut point_labels = Vec::with_capacity(n);
+        for (point, outcome) in points.iter().zip(outcomes) {
+            let (stats, wall) = outcome.expect("every sweep point must complete");
+            point_labels.push(point.label());
+            point_wall_ms.push(wall);
+            report.push(stats);
+        }
+
+        SuiteReport {
+            name: self.name.clone(),
+            threads,
+            report,
+            point_labels,
+            point_wall_ms,
+            total_wall_ms,
+        }
+    }
+
+    /// Convenience: [`ExperimentSuite::run`] with [`default_threads`].
+    pub fn run_default(&self) -> SuiteReport {
+        self.run(default_threads())
+    }
+
+    fn run_point(runner: &R, point: &SweepPoint) -> (PointStats, f64) {
+        let t0 = Instant::now();
+        let mut stats = runner(point);
+        if stats.label.is_empty() {
+            stats.label = point.label();
+        }
+        (stats, t0.elapsed().as_secs_f64() * 1_000.0)
+    }
+}
+
+/// The outcome of one [`ExperimentSuite::run`]: the deterministic
+/// [`SweepReport`] plus per-point and aggregate wall-clock timing.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// Suite name.
+    pub name: String,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Deterministic per-point results (identical for any thread count).
+    pub report: SweepReport,
+    /// Per-point labels, in grid order.
+    pub point_labels: Vec<String>,
+    /// Per-point wall-clock in milliseconds, in grid order.
+    pub point_wall_ms: Vec<f64>,
+    /// End-to-end wall-clock of the whole sweep in milliseconds.
+    pub total_wall_ms: f64,
+}
+
+impl SuiteReport {
+    /// Sum of the per-point wall-clocks — the serial-equivalent work.
+    pub fn busy_ms(&self) -> f64 {
+        self.point_wall_ms.iter().sum()
+    }
+
+    /// Ratio of serial-equivalent work to elapsed wall-clock: ≈1 on one
+    /// thread, approaching the thread count under perfect scaling.
+    pub fn effective_parallelism(&self) -> f64 {
+        if self.total_wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.busy_ms() / self.total_wall_ms
+        }
+    }
+
+    /// The canonical byte-stable rendering of the deterministic results (see
+    /// [`SweepReport::render_deterministic`]).
+    pub fn digest(&self) -> String {
+        self.report.render_deterministic()
+    }
+
+    /// Prints the per-point and aggregate wall-clock summary.
+    pub fn print_timing_summary(&self) {
+        println!(
+            "  [sweep {}] {} points on {} thread(s): total {:.1} ms, busy {:.1} ms, effective parallelism {:.2}x",
+            self.name,
+            self.point_wall_ms.len(),
+            self.threads,
+            self.total_wall_ms,
+            self.busy_ms(),
+            self.effective_parallelism(),
+        );
+        // The slowest points dominate the wall-clock; list up to five.
+        let mut order: Vec<usize> = (0..self.point_wall_ms.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.point_wall_ms[b]
+                .partial_cmp(&self.point_wall_ms[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &i in order.iter().take(5) {
+            println!(
+                "    point {:>4} {:<28} {:>9.2} ms",
+                i, self.point_labels[i], self.point_wall_ms[i]
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nodes::source::CbrSource;
+    use crate::select::ServiceKind;
+    use netsim::Dur;
+
+    fn demo_grid() -> SweepGrid {
+        SweepGrid::new()
+            .seeds([1, 2, 3])
+            .loss_models(vec![
+                ("p1", LossSpec::Bernoulli(0.01)),
+                ("p5", LossSpec::Bernoulli(0.05)),
+            ])
+            .variants(vec![("a", 0), ("b", 1)])
+    }
+
+    #[test]
+    fn grid_is_the_cartesian_product_in_nested_loop_order() {
+        let grid = demo_grid();
+        assert_eq!(grid.len(), 12);
+        let points = grid.points(9);
+        assert_eq!(points.len(), 12);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+        // seeds innermost, variants outermost.
+        assert_eq!(points[0].seed, 1);
+        assert_eq!(points[1].seed, 2);
+        assert_eq!(points[3].loss_label, "p5");
+        assert_eq!(points[6].variant_label, "b");
+        // Every point gets a distinct scenario seed.
+        let mut seeds: Vec<u64> = points.iter().map(|p| p.scenario_seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12);
+    }
+
+    #[test]
+    fn paired_seed_is_shared_across_variants_but_scenario_seed_is_not() {
+        let points = demo_grid().points(7);
+        // Points 0 and 6 share seed-axis value 1 but sit on different
+        // variant/loss entries.
+        assert_eq!(points[0].seed, points[6].seed);
+        assert_eq!(points[0].paired_seed(), points[6].paired_seed());
+        assert_ne!(points[0].scenario_seed(), points[6].scenario_seed());
+        // Different seed-axis values give different paired seeds.
+        assert_ne!(points[0].paired_seed(), points[1].paired_seed());
+    }
+
+    #[test]
+    fn point_labels_skip_neutral_axes() {
+        let points = SweepGrid::new().seeds([7]).points(0);
+        assert_eq!(points[0].label(), "s7");
+        let points = demo_grid().points(0);
+        assert_eq!(points[0].label(), "a/p1/s1");
+    }
+
+    #[test]
+    fn multi_thread_run_is_byte_identical_to_single_thread() {
+        let suite = ExperimentSuite::new("demo", 42, demo_grid(), |point| {
+            let report = crate::experiment::Scenario::new(point.scenario_seed())
+                .with_topology(netsim::Topology::wide_area(point.loss.clone()))
+                .add_flow(
+                    ServiceKind::Caching,
+                    Box::new(CbrSource::new(Dur::from_millis(20), 400, 50)),
+                )
+                .run(Dur::from_secs(2));
+            let f = &report.flows[0];
+            PointStats::new("")
+                .metric("sent", f.sent() as f64)
+                .metric("delivered", f.delivered() as f64)
+                .metric("recovery_rate", f.recovery_rate())
+                .series("latencies_ms", f.latencies_ms())
+        });
+        let serial = suite.run(1);
+        let parallel = suite.run(4);
+        assert_eq!(serial.threads, 1);
+        assert!(parallel.threads > 1);
+        assert_eq!(serial.digest(), parallel.digest());
+        assert_eq!(serial.report, parallel.report);
+        // And a second parallel run replays exactly.
+        assert_eq!(parallel.digest(), suite.run(4).digest());
+    }
+
+    #[test]
+    fn runner_sees_points_in_grid_order_serially() {
+        let grid = SweepGrid::new().replicates(5);
+        let suite = ExperimentSuite::new("order", 1, grid, |p| {
+            PointStats::new("").metric("idx", p.index as f64)
+        });
+        let out = suite.run(1);
+        assert_eq!(
+            out.report.metric_series("idx"),
+            vec![0.0, 1.0, 2.0, 3.0, 4.0]
+        );
+        assert_eq!(out.point_wall_ms.len(), 5);
+        assert!(out.total_wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn default_threads_is_at_least_one() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -20,7 +20,7 @@
 //!   (§4.2, Figure 8(e)).  Recovery fails silently at a deadline otherwise.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use netsim::{Context, Dur, Node, NodeId, Time, TimerId};
 
@@ -401,8 +401,11 @@ impl Dc2Node {
 
         // Ask every receiver that holds other members of the batch for its
         // data packets (step 2 of Figure 6).  For in-stream batches this is
-        // the requesting receiver itself.
-        let mut per_receiver: HashMap<NodeId, Vec<(FlowId, SeqNo)>> = HashMap::new();
+        // the requesting receiver itself.  Receivers are contacted in id
+        // order — a BTreeMap, not a HashMap, because hash-iteration order
+        // varies per map instance and would leak non-seeded entropy into the
+        // event schedule (breaking same-process replay determinism).
+        let mut per_receiver: BTreeMap<NodeId, Vec<(FlowId, SeqNo)>> = BTreeMap::new();
         for m in &members {
             if m.flow == flow && m.seq == seq {
                 continue;

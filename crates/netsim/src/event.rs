@@ -2,9 +2,12 @@
 //!
 //! Events are ordered by `(time, sequence)` where the sequence number is a
 //! monotonically increasing tie-breaker, giving a deterministic total order
-//! even when many events share a timestamp.
+//! even when many events share a timestamp.  [`EventQueue`] wraps the binary
+//! heap so a simulator can be built with a pre-sized allocation and recycled
+//! between sweep points without re-allocating.
 
 use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 use crate::node::{NodeId, TimerId};
 use crate::time::Time;
@@ -62,6 +65,82 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// The simulator's pending-event queue: a min-order priority queue with a
+/// monotonically increasing sequence number as tie-breaker.
+///
+/// Sequence numbers are assigned by the queue itself so callers cannot break
+/// the deterministic total order, and the backing heap can be pre-sized
+/// ([`EventQueue::with_capacity`]) so per-sweep-point simulators start with a
+/// single allocation instead of growing through the doubling schedule.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    /// An empty queue with no pre-allocated capacity.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// An empty queue with room for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at time `at`; events scheduled earlier (or at the
+    /// same time but pushed first) pop first.
+    pub fn push(&mut self, at: Time, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_at(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Allocated capacity of the backing heap.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Drops all pending events but keeps the allocation, so a recycled
+    /// simulator re-starts from an already-sized heap.
+    pub fn recycle(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +178,31 @@ mod tests {
         heap.push(ev(10, 9));
         let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|e| e.seq).collect();
         assert_eq!(order, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn event_queue_orders_and_recycles_without_reallocating() {
+        let mut q: EventQueue<()> = EventQueue::with_capacity(64);
+        let cap = q.capacity();
+        assert!(cap >= 64);
+        for at in [30u64, 10, 20, 10] {
+            q.push(
+                Time::from_millis(at),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    timer: TimerId(0),
+                    tag: at,
+                },
+            );
+        }
+        assert_eq!(q.len(), 4);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_micros())
+            .collect();
+        // FIFO among the two t=10 events, then 20, then 30.
+        assert_eq!(order, vec![10_000, 10_000, 20_000, 30_000]);
+        q.recycle();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), cap, "recycling must keep the allocation");
     }
 }

@@ -65,7 +65,7 @@ pub use link::{Link, LinkSpec, LinkStats};
 pub use loss::{LossModel, LossSpec};
 pub use node::{Context, Node, NodeId, TimerId};
 pub use sim::{SimStats, Simulator};
-pub use stats::{Cdf, Summary};
+pub use stats::{Cdf, PointStats, Summary, SweepReport};
 pub use time::{Dur, Time};
 pub use topology::Topology;
 
@@ -76,7 +76,7 @@ pub mod prelude {
     pub use crate::loss::{LossModel, LossSpec};
     pub use crate::node::{Context, Node, NodeId, TimerId};
     pub use crate::sim::Simulator;
-    pub use crate::stats::{Cdf, Summary};
+    pub use crate::stats::{Cdf, PointStats, Summary, SweepReport};
     pub use crate::time::{Dur, Time};
     pub use crate::topology::Topology;
 }

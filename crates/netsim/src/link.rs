@@ -71,8 +71,12 @@ impl LinkSpec {
         self.delay.nominal()
     }
 
-    /// Instantiates the stateful link.
-    pub fn build(&self) -> Link {
+    /// Instantiates the stateful link with its own random-number generator.
+    ///
+    /// The RNG is owned by the link (rather than shared across the engine) so
+    /// the loss/jitter realisation of one link is independent of how many
+    /// packets other links carry — see [`crate::rng::link_rng`].
+    pub fn build(&self, rng: SmallRng) -> Link {
         Link {
             delay: self.delay.build(),
             loss: self.loss.build(),
@@ -80,6 +84,7 @@ impl LinkSpec {
             bandwidth_bps: self.bandwidth_bps,
             queue_packets: self.queue_packets,
             busy_until: Time::ZERO,
+            rng,
             stats: LinkStats::default(),
         }
     }
@@ -131,21 +136,22 @@ pub struct Link {
     bandwidth_bps: Option<u64>,
     queue_packets: usize,
     busy_until: Time,
+    rng: SmallRng,
     stats: LinkStats,
 }
 
 impl Link {
     /// Offers a packet of `size_bytes` to the link at time `now` and decides
     /// its fate.
-    pub fn offer(&mut self, now: Time, size_bytes: usize, rng: &mut SmallRng) -> LinkOutcome {
+    pub fn offer(&mut self, now: Time, size_bytes: usize) -> LinkOutcome {
         self.stats.offered += 1;
 
-        if self.loss.should_drop(now, rng) {
+        if self.loss.should_drop(now, &mut self.rng) {
             self.stats.dropped_loss += 1;
             return LinkOutcome::DroppedLoss;
         }
 
-        let mut latency = self.delay.sample(rng);
+        let mut latency = self.delay.sample(&mut self.rng);
 
         if let Some(bps) = self.bandwidth_bps {
             // Serialization delay plus queueing behind previously accepted
@@ -196,10 +202,9 @@ mod tests {
 
     #[test]
     fn lossless_link_delivers_with_constant_latency() {
-        let mut link = LinkSpec::symmetric(Dur::from_millis(25)).build();
-        let mut rng = component_rng(1, 0);
+        let mut link = LinkSpec::symmetric(Dur::from_millis(25)).build(component_rng(1, 0));
         for i in 0..100 {
-            match link.offer(Time::from_millis(i), 100, &mut rng) {
+            match link.offer(Time::from_millis(i), 100) {
                 LinkOutcome::Deliver(d) => assert_eq!(d, Dur::from_millis(25)),
                 other => panic!("unexpected {other:?}"),
             }
@@ -212,11 +217,10 @@ mod tests {
     fn full_loss_link_drops_everything() {
         let mut link = LinkSpec::symmetric(Dur::from_millis(5))
             .loss(LossSpec::Bernoulli(1.0))
-            .build();
-        let mut rng = component_rng(2, 0);
+            .build(component_rng(2, 0));
         for i in 0..50 {
             assert_eq!(
-                link.offer(Time::from_millis(i), 100, &mut rng),
+                link.offer(Time::from_millis(i), 100),
                 LinkOutcome::DroppedLoss
             );
         }
@@ -229,14 +233,13 @@ mod tests {
         // 8 Mbps link, 1000-byte packets => 1 ms serialization each.
         let mut link = LinkSpec::symmetric(Dur::from_millis(10))
             .bandwidth(8_000_000, 100)
-            .build();
-        let mut rng = component_rng(3, 0);
+            .build(component_rng(3, 0));
         // Two back-to-back packets at t=0: second waits behind the first.
-        let d1 = match link.offer(Time::ZERO, 1_000, &mut rng) {
+        let d1 = match link.offer(Time::ZERO, 1_000) {
             LinkOutcome::Deliver(d) => d,
             o => panic!("{o:?}"),
         };
-        let d2 = match link.offer(Time::ZERO, 1_000, &mut rng) {
+        let d2 = match link.offer(Time::ZERO, 1_000) {
             LinkOutcome::Deliver(d) => d,
             o => panic!("{o:?}"),
         };
@@ -249,11 +252,10 @@ mod tests {
         // Very slow link (8 kbps): 1000-byte packet takes 1 s to serialize.
         let mut link = LinkSpec::symmetric(Dur::from_millis(1))
             .bandwidth(8_000, 2)
-            .build();
-        let mut rng = component_rng(4, 0);
+            .build(component_rng(4, 0));
         let mut dropped = 0;
         for _ in 0..10 {
-            if link.offer(Time::ZERO, 1_000, &mut rng) == LinkOutcome::DroppedQueue {
+            if link.offer(Time::ZERO, 1_000) == LinkOutcome::DroppedQueue {
                 dropped += 1;
             }
         }
@@ -268,10 +270,9 @@ mod tests {
     fn zero_size_packets_ignore_bandwidth() {
         let mut link = LinkSpec::symmetric(Dur::from_millis(3))
             .bandwidth(1_000, 1)
-            .build();
-        let mut rng = component_rng(5, 0);
+            .build(component_rng(5, 0));
         for _ in 0..20 {
-            match link.offer(Time::ZERO, 0, &mut rng) {
+            match link.offer(Time::ZERO, 0) {
                 LinkOutcome::Deliver(d) => assert_eq!(d, Dur::from_millis(3)),
                 o => panic!("{o:?}"),
             }

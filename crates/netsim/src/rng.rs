@@ -25,6 +25,26 @@ pub fn component_rng(master: u64, stream: u64) -> SmallRng {
     SmallRng::seed_from_u64(derive_seed(master, stream))
 }
 
+/// Stream-label tag that keeps link streams disjoint from node streams (node
+/// streams are the raw node index, so an untagged `(from, to)` encoding would
+/// collide with them whenever `from == 0`).
+const LINK_STREAM_TAG: u64 = 0x4C49_4E4B_5354_5245; // "LINKSTRE"
+
+/// Derives the stream label for the unidirectional link `from → to`.
+///
+/// The label depends only on the endpoint pair, so adding or reordering other
+/// links never perturbs the loss/jitter pattern of an existing one — the same
+/// stability property node RNGs get from being keyed by node index.
+pub fn link_stream(from: u64, to: u64) -> u64 {
+    derive_seed(LINK_STREAM_TAG, (from << 32) | (to & 0xFFFF_FFFF))
+}
+
+/// Creates the `SmallRng` owned by the link `from → to`, derived from the
+/// master seed exactly like node RNGs are.
+pub fn link_rng(master: u64, from: u64, to: u64) -> SmallRng {
+    component_rng(master, link_stream(from, to))
+}
+
 /// Samples a standard normal deviate using the Box–Muller transform.
 ///
 /// `rand_distr` is intentionally not a dependency; this is the only
@@ -67,6 +87,19 @@ mod tests {
         assert_eq!(derive_seed(42, 1), derive_seed(42, 1));
         assert_ne!(derive_seed(42, 1), derive_seed(42, 2));
         assert_ne!(derive_seed(42, 1), derive_seed(43, 1));
+    }
+
+    #[test]
+    fn link_streams_are_direction_sensitive_and_disjoint_from_node_streams() {
+        assert_ne!(link_stream(3, 7), link_stream(7, 3));
+        assert_eq!(link_stream(3, 7), link_stream(3, 7));
+        // Node streams are raw node indices; link streams must never collide
+        // with them for small topologies.
+        for from in 0..8u64 {
+            for to in 0..8u64 {
+                assert!(link_stream(from, to) > 1024, "{from}->{to}");
+            }
+        }
     }
 
     #[test]

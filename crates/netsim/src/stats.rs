@@ -4,8 +4,12 @@
 //! per-path quantities.  [`Cdf`] collects samples and produces percentile
 //! queries, evenly spaced CDF/CCDF points for plotting, and a [`Summary`]
 //! (mean / min / max / selected percentiles) used in `EXPERIMENTS.md`.
+//! [`SweepReport`] aggregates the labelled per-point outputs of a parameter
+//! sweep (one [`PointStats`] per grid point) into those same distributions.
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// An online sample collector with percentile queries.
 #[derive(Clone, Debug, Default)]
@@ -231,6 +235,152 @@ impl Ratio {
     }
 }
 
+/// The labelled output of one point of a parameter sweep: named scalar
+/// metrics plus named sample vectors (for distributions).
+///
+/// Keys are stored in `BTreeMap`s so iteration — and therefore any rendering
+/// of the report — is order-stable regardless of insertion order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PointStats {
+    /// Human-readable point label (axis values joined by the sweep harness).
+    pub label: String,
+    /// Scalar metrics, e.g. `recovery_rate`.
+    pub metrics: BTreeMap<String, f64>,
+    /// Sample vectors, e.g. per-packet latencies, in collection order.
+    pub samples: BTreeMap<String, Vec<f64>>,
+}
+
+impl PointStats {
+    /// Creates an empty point record with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        PointStats {
+            label: label.into(),
+            metrics: BTreeMap::new(),
+            samples: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or overwrites) a scalar metric; builder-style.
+    pub fn metric(mut self, key: &str, value: f64) -> Self {
+        self.metrics.insert(key.to_string(), value);
+        self
+    }
+
+    /// Adds (or overwrites) a sample vector; builder-style.
+    pub fn series(mut self, key: &str, values: Vec<f64>) -> Self {
+        self.samples.insert(key.to_string(), values);
+        self
+    }
+
+    /// Looks up a scalar metric.
+    pub fn get_metric(&self, key: &str) -> Option<f64> {
+        self.metrics.get(key).copied()
+    }
+
+    /// Looks up a sample vector.
+    pub fn get_series(&self, key: &str) -> Option<&[f64]> {
+        self.samples.get(key).map(|v| v.as_slice())
+    }
+}
+
+/// Aggregate of all points of one sweep, in grid order.
+///
+/// The report is the *deterministic* part of a sweep's output: it contains
+/// per-point metrics and samples but no wall-clock timing, so two executions
+/// of the same grid — regardless of worker-thread count — must produce
+/// byte-identical [`SweepReport::render_deterministic`] output.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SweepReport {
+    points: Vec<PointStats>,
+}
+
+impl SweepReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        SweepReport::default()
+    }
+
+    /// Builds a report from per-point records already in grid order.
+    pub fn from_points(points: Vec<PointStats>) -> Self {
+        SweepReport { points }
+    }
+
+    /// Appends the next point's record.
+    pub fn push(&mut self, point: PointStats) {
+        self.points.push(point);
+    }
+
+    /// Number of points recorded.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The per-point records, in grid order.
+    pub fn points(&self) -> &[PointStats] {
+        &self.points
+    }
+
+    /// One value of `key` per point that reports it, in grid order — the
+    /// across-points distribution of a scalar metric (e.g. Figure 8(a)'s
+    /// per-path recovery rates).
+    pub fn metric_series(&self, key: &str) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter_map(|p| p.get_metric(key))
+            .collect()
+    }
+
+    /// Concatenation of every point's `key` samples, in grid order — the
+    /// pooled distribution of a per-packet quantity.
+    pub fn merged_samples(&self, key: &str) -> Vec<f64> {
+        self.points
+            .iter()
+            .flat_map(|p| p.get_series(key).unwrap_or(&[]).iter().copied())
+            .collect()
+    }
+
+    /// Summary of the across-points distribution of a scalar metric.
+    pub fn metric_summary(&self, key: &str) -> Summary {
+        Cdf::from_samples(self.metric_series(key)).summary()
+    }
+
+    /// Summary of the pooled samples of `key` across all points.
+    pub fn sample_summary(&self, key: &str) -> Summary {
+        Cdf::from_samples(self.merged_samples(key)).summary()
+    }
+
+    /// Renders the full report as a canonical, byte-stable string: points in
+    /// grid order, keys in lexicographic order, floats through Rust's
+    /// shortest-roundtrip formatter.  Two runs of the same sweep are expected
+    /// to produce identical output here, whatever the thread count — this is
+    /// the string the determinism tests compare.
+    pub fn render_deterministic(&self) -> String {
+        let mut out = String::new();
+        for (i, p) in self.points.iter().enumerate() {
+            let _ = writeln!(out, "point {} label={}", i, p.label);
+            for (k, v) in &p.metrics {
+                let _ = writeln!(out, "  metric {k}={v}");
+            }
+            for (k, vs) in &p.samples {
+                let _ = write!(out, "  samples {k}=[");
+                for (j, v) in vs.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{v}");
+                }
+                out.push_str("]\n");
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +449,48 @@ mod tests {
         let text = format!("{s}");
         assert!(text.contains("n=3"));
         assert!(text.contains("mean=2.00"));
+    }
+
+    #[test]
+    fn sweep_report_aggregates_in_grid_order() {
+        let mut report = SweepReport::new();
+        report.push(
+            PointStats::new("p0")
+                .metric("rate", 0.5)
+                .series("lat", vec![1.0, 2.0]),
+        );
+        report.push(
+            PointStats::new("p1")
+                .metric("rate", 1.0)
+                .series("lat", vec![3.0]),
+        );
+        report.push(PointStats::new("p2")); // reports neither key
+        assert_eq!(report.len(), 3);
+        assert_eq!(report.metric_series("rate"), vec![0.5, 1.0]);
+        assert_eq!(report.merged_samples("lat"), vec![1.0, 2.0, 3.0]);
+        assert_eq!(report.metric_summary("rate").count, 2);
+        assert_eq!(report.sample_summary("lat").max, 3.0);
+    }
+
+    #[test]
+    fn sweep_report_rendering_is_canonical() {
+        let make = |order_flip: bool| {
+            let mut p = PointStats::new("x");
+            if order_flip {
+                p.samples.insert("b".into(), vec![2.0]);
+                p.metrics.insert("z".into(), 1.0);
+                p.metrics.insert("a".into(), 0.25);
+            } else {
+                p.metrics.insert("a".into(), 0.25);
+                p.metrics.insert("z".into(), 1.0);
+                p.samples.insert("b".into(), vec![2.0]);
+            }
+            SweepReport::from_points(vec![p]).render_deterministic()
+        };
+        let text = make(false);
+        assert_eq!(text, make(true), "insertion order must not matter");
+        assert!(text.contains("metric a=0.25"));
+        assert!(text.contains("samples b=[2]"));
     }
 
     #[test]

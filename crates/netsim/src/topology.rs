@@ -75,6 +75,13 @@ impl Topology {
         self
     }
 
+    /// Sets the loss model on the inter-DC path (DC1 → DC2) — used by the
+    /// failure-injection tests to take DC2 out of reach mid-flow.
+    pub fn inter_dc_loss(mut self, loss: LossSpec) -> Self {
+        self.dc1_dc2 = self.dc1_dc2.loss(loss);
+        self
+    }
+
     /// Caps the sender's uplink bandwidth (bits per second) — used by the
     /// mobile-network case study in §6.5.
     pub fn sender_uplink_bandwidth(mut self, bps: u64, queue: usize) -> Self {

@@ -57,6 +57,13 @@ impl DeliveryTrace {
         Self::default()
     }
 
+    /// Empties the trace so the buffers can be recycled for the next flow or
+    /// sweep point instead of re-allocating.
+    pub fn clear(&mut self) {
+        self.sent.clear();
+        self.delivered.clear();
+    }
+
     /// Records that sequence number `seq` was sent at `at`.
     pub fn record_sent(&mut self, seq: u64, at: Time) {
         self.sent.entry(seq).or_insert(at);

@@ -1,9 +1,20 @@
-//! A tiny CLI that prints the workspace layout and how to regenerate every
-//! figure of the paper.  The real entry points are the examples and the
-//! `jqos-bench` binaries.
+//! The `jqos` umbrella CLI.
+//!
+//! * `jqos` — prints the workspace layout and how to regenerate every figure.
+//! * `jqos sweep --fig <id> [--threads N] [--no-baseline]` — runs one
+//!   figure's `ExperimentSuite` grid on N worker threads, printing per-point
+//!   and aggregate wall-clock plus (unless `--no-baseline`) a 1-thread replay
+//!   whose report is asserted byte-identical to the parallel run.
 
-fn main() {
+use std::process::ExitCode;
+
+fn print_help() {
     println!("J-QoS: Judicious QoS using Cloud Overlays — Rust reproduction");
+    println!();
+    println!("Usage:");
+    println!("  jqos                     this overview");
+    println!("  jqos sweep --fig <id> [--threads N] [--no-baseline]");
+    println!("  jqos sweep --list");
     println!();
     println!("Examples (cargo run --example <name>):");
     println!("  quickstart        compare Internet / caching / coding on a lossy WAN path");
@@ -17,5 +28,80 @@ fn main() {
     println!("  fig7_feasibility, fig8_crwan, fig9a_skype, fig9b_tcp, fig10_scaling,");
     println!("  sec65_mobile, sec66_cost   (set JQOS_QUICK=1 for a fast pass)");
     println!();
+    println!("Parallel sweeps (same suites, via this CLI):");
+    println!(
+        "  jqos sweep --fig {}   (JQOS_QUICK=1 for a fast pass)",
+        jqos_bench::figures::FIGURE_IDS.join(" | ")
+    );
+    println!();
     println!("Criterion benches: cargo bench -p jqos-bench");
+}
+
+fn sweep(args: &[String]) -> ExitCode {
+    let mut fig: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut baseline = true;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fig" | "-f" => match iter.next() {
+                Some(v) => fig = Some(v.clone()),
+                None => {
+                    eprintln!("error: --fig requires a figure id");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" | "-t" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("error: --threads requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--no-baseline" => baseline = false,
+            "--list" | "-l" => {
+                println!("available figure ids:");
+                for id in jqos_bench::figures::FIGURE_IDS {
+                    println!("  {id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown sweep argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(fig) = fig else {
+        eprintln!("error: sweep needs --fig <id> (try 'jqos sweep --list')");
+        return ExitCode::FAILURE;
+    };
+    let threads = threads.unwrap_or_else(jqos_core::default_threads);
+    // The baseline replay doubles as the determinism proof; the figure
+    // harness treats this switch as authoritative (set before any sweep
+    // worker threads exist), with quick mode as the unset-default.
+    std::env::set_var("JQOS_SWEEP_BASELINE", if baseline { "1" } else { "0" });
+    println!("running figure {fig} sweep on {threads} worker thread(s)");
+    if jqos_bench::figures::run_figure(&fig, threads) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: unknown figure id '{fig}' (try 'jqos sweep --list')");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some("sweep") => sweep(&args[1..]),
+        Some(other) => {
+            eprintln!("error: unknown subcommand '{other}'");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -132,6 +132,84 @@ fn scenario_reports_are_deterministic() {
     assert_eq!(run(), run());
 }
 
+/// The full `ScenarioReport` — every per-packet outcome, every counter — is
+/// identical across two runs of the same seed, not just the headline
+/// aggregates.
+#[test]
+fn identical_seeds_yield_identical_scenario_reports() {
+    let run = |seed: u64| {
+        let mut scenario = Scenario::new(seed)
+            .with_topology(Topology::wide_area(LossSpec::bursty(0.02, 3.0)))
+            .with_coding(CodingParams::planetlab_defaults());
+        for service in [
+            ServiceKind::Coding,
+            ServiceKind::Coding,
+            ServiceKind::Caching,
+        ] {
+            scenario = scenario.add_flow(
+                service,
+                Box::new(CbrSource::new(Dur::from_millis(20), 512, 300)),
+            );
+        }
+        scenario.run(Dur::from_secs(8))
+    };
+    assert_eq!(run(123), run(123));
+    assert_ne!(run(123), run(124));
+}
+
+/// The tentpole guarantee of the sweep harness: an `ExperimentSuite` grid
+/// executed on N worker threads produces a byte-identical `SweepReport` to a
+/// 1-thread run of the same master seed.
+#[test]
+fn experiment_suite_is_byte_identical_across_thread_counts() {
+    let grid = SweepGrid::new()
+        .seeds([5, 6])
+        .loss_models(vec![
+            ("bern2", LossSpec::Bernoulli(0.02)),
+            ("burst", LossSpec::bursty(0.01, 4.0)),
+        ])
+        .service_mixes(vec![
+            ("caching", vec![ServiceKind::Caching]),
+            ("coding4", vec![ServiceKind::Coding; 4]),
+        ]);
+    let suite = ExperimentSuite::new("e2e-determinism", 2024, grid, |point| {
+        let mut scenario = Scenario::new(point.scenario_seed())
+            .with_topology(Topology::wide_area(point.loss.clone()))
+            .with_coding(point.coding);
+        for service in &point.mix {
+            scenario = scenario.add_flow(
+                *service,
+                Box::new(CbrSource::new(Dur::from_millis(25), 400, 120)),
+            );
+        }
+        let report = scenario.run(Dur::from_secs(4));
+        netsim::stats::PointStats::new("")
+            .metric("recovery_rate", report.overall_recovery_rate())
+            .metric("residual_loss", report.overall_residual_loss())
+            .metric("dc2_nacks", report.dc2.nacks as f64)
+            .series(
+                "latencies_ms",
+                report.flows.iter().flat_map(|f| f.latencies_ms()).collect(),
+            )
+    });
+    assert_eq!(suite.point_count(), 8);
+
+    let serial = suite.run(1);
+    let parallel = suite.run(4);
+    assert_eq!(serial.threads, 1);
+    assert_eq!(parallel.threads, 4);
+    // Byte-identical deterministic output, equal structured reports, and a
+    // replayable parallel run.
+    assert_eq!(serial.digest(), parallel.digest());
+    assert_eq!(serial.report, parallel.report);
+    assert_eq!(parallel.digest(), suite.run(4).digest());
+    // Timing is reported per point and in aggregate (values are free to
+    // differ between runs; their shape is not).
+    assert_eq!(serial.point_wall_ms.len(), 8);
+    assert!(serial.total_wall_ms > 0.0);
+    assert!(serial.busy_ms() > 0.0);
+}
+
 /// Selective duplication sends far fewer bytes to the cloud while still
 /// recovering the packets it covers (the §6.4/§6.5 strategy).
 #[test]

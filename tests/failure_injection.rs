@@ -107,6 +107,139 @@ fn recovery_works_with_and_without_nack_checking() {
     assert!(without_check.flows[0].recovery_rate() > 0.85);
 }
 
+/// DC2 itself goes dark mid-flow: the inter-DC path and the receiver access
+/// path both black out for several seconds.  Recovery is impossible during
+/// the blackout, but the system must degrade gracefully — no panic, direct
+/// path deliveries continue, and the recovery machinery resumes when DC2
+/// returns.
+#[test]
+fn dc2_outage_mid_flow_degrades_gracefully() {
+    let dc2_outage = LossSpec::Outage(vec![(Time::from_secs(5), Time::from_secs(10))]);
+    let topology = Topology::wide_area(LossSpec::Bernoulli(0.02))
+        .inter_dc_loss(dc2_outage.clone())
+        .receiver_access_loss(dc2_outage);
+    let report = Scenario::new(204)
+        .with_topology(topology)
+        .add_flow(
+            ServiceKind::Caching,
+            Box::new(CbrSource::new(Dur::from_millis(20), 400, 800)),
+        )
+        .run(Dur::from_secs(18));
+    let flow = &report.flows[0];
+    assert_eq!(flow.sent(), 800);
+    // The direct path is unaffected by the DC outage: ~98% of packets still
+    // arrive directly.
+    assert!(
+        flow.delivered_direct() > 700,
+        "direct path should keep delivering, got {}",
+        flow.delivered_direct()
+    );
+    // Losses during the blackout are unrecoverable, so recovery is partial —
+    // but packets lost outside the blackout window are still recovered.
+    assert!(
+        flow.recovered() > 0,
+        "recovery must resume after the DC2 outage"
+    );
+    assert!(
+        flow.unrecovered() > 0,
+        "losses during the DC2 blackout cannot be recovered"
+    );
+    // NACKs were sent into the void during the outage.
+    assert!(flow.nacks_sent as usize > flow.recovered());
+}
+
+/// Back-to-back loss episodes on the direct path must be classified in the
+/// report's `EpisodeBreakdown`: repeated short outages show up as outage
+/// packets, background random drops as random/multi-packet episodes.
+#[test]
+fn back_to_back_loss_episodes_are_reflected_in_the_breakdown() {
+    let loss = LossSpec::Compound(vec![
+        LossSpec::Bernoulli(0.01),
+        LossSpec::PeriodicOutage {
+            first: Time::from_secs(2),
+            period: Dur::from_secs(4),
+            duration: Dur::from_millis(1_500),
+        },
+    ]);
+    let report = Scenario::new(205)
+        .with_topology(Topology::wide_area(loss))
+        .add_flow(
+            ServiceKind::Caching,
+            Box::new(CbrSource::new(Dur::from_millis(20), 400, 900)),
+        )
+        .run(Dur::from_secs(20));
+    let flow = &report.flows[0];
+    let breakdown = flow.episode_breakdown;
+    // Four-plus outages of ~75 packets each dominate the loss volume.
+    assert!(
+        breakdown.has_outage(),
+        "periodic outages must be classified as outage episodes: {breakdown:?}"
+    );
+    assert!(
+        breakdown.episode_counts.2 >= 3,
+        "back-to-back outage episodes must each be counted: {breakdown:?}"
+    );
+    assert!(
+        breakdown.outage_packets > breakdown.random_packets,
+        "outage packets should dominate random drops: {breakdown:?}"
+    );
+    // The per-class contributions are consistent with the totals.
+    let (r, m, o) = breakdown.contribution();
+    assert!((r + m + o - 1.0).abs() < 1e-9);
+    assert_eq!(breakdown.total_lost(), flow.lost_on_direct());
+}
+
+/// The §3.5 upgrade path: a flow whose observed latency misses its budget is
+/// moved up the cost spectrum one service at a time — Coding → Caching →
+/// Forwarding — and never past Forwarding.
+#[test]
+fn budget_misses_upgrade_coding_to_caching_to_forwarding() {
+    // 75 ms direct path, 10 ms access: coding estimates 115 ms, caching
+    // 95 ms, forwarding 90 ms (the §6.1 numbers).
+    let delays = PathDelays::symmetric(
+        Dur::from_millis(75),
+        Dur::from_millis(10),
+        Dur::from_millis(70),
+        Dur::from_millis(10),
+    );
+    let selector = ServiceSelector::new(delays);
+    let reg = |budget_ms: u64| Registration {
+        latency_budget: Dur::from_millis(budget_ms),
+        loss_tolerant: false,
+    };
+
+    // Budget 100 ms: coding (115 ms estimate) is selected-out, and a flow
+    // observing a p95 above budget steps up to caching.
+    let up = selector
+        .maybe_upgrade(ServiceKind::Coding, Dur::from_millis(140), reg(100))
+        .expect("coding must upgrade when it misses the budget");
+    assert_eq!(up.service, ServiceKind::Caching);
+    assert!(up.estimated_latency <= Dur::from_millis(100));
+
+    // Caching in turn misses a 92 ms budget: the only step left is
+    // forwarding.
+    let up = selector
+        .maybe_upgrade(ServiceKind::Caching, Dur::from_millis(120), reg(92))
+        .expect("caching must upgrade when it misses the budget");
+    assert_eq!(up.service, ServiceKind::Forwarding);
+
+    // Even when nothing fits the budget, the chain still ends at forwarding
+    // (the best J-QoS can do) ...
+    let up = selector
+        .maybe_upgrade(ServiceKind::Coding, Dur::from_millis(500), reg(10))
+        .expect("must escalate towards forwarding");
+    assert_eq!(up.service, ServiceKind::Forwarding);
+    // ... and forwarding itself has nowhere to go.
+    assert!(selector
+        .maybe_upgrade(ServiceKind::Forwarding, Dur::from_millis(500), reg(10))
+        .is_none());
+
+    // A flow meeting its budget is never touched.
+    assert!(selector
+        .maybe_upgrade(ServiceKind::Coding, Dur::from_millis(115), reg(150))
+        .is_none());
+}
+
 /// An Internet-only flow over a clean path must not involve the cloud at all:
 /// judicious use means zero cloud cost when best effort is good enough.
 #[test]

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros — without the statistics machinery.  Each
+//! benchmark runs a small fixed number of timed iterations and reports the
+//! mean wall time (plus derived throughput when configured).  That keeps
+//! `cargo bench` runnable and the bench sources compiling, which is all an
+//! offline environment can honestly promise.
+
+use std::time::Instant;
+
+/// Re-export of the standard optimisation barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting throughput alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives the measured routine.
+pub struct Bencher {
+    iterations: u64,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    iterations: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // One timed iteration keeps `cargo bench` fast even for the heavy
+        // encoder benches; override with CRITERION_STUB_ITERS.
+        let iterations = std::env::var("CRITERION_STUB_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        Criterion { iterations }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        run_one(self.iterations, &id.into(), None, f);
+    }
+}
+
+/// A group of related benchmarks sharing throughput/size settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in does not time-box groups.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        run_one(self.criterion.iterations, &id.into(), self.throughput, f);
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            self.criterion.iterations,
+            &id.into(),
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    iterations: u64,
+    id: &BenchmarkId,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iterations,
+        total_nanos: 0,
+    };
+    f(&mut bencher);
+    let mean_nanos = bencher.total_nanos as f64 / iterations.max(1) as f64;
+    let mut line = format!("  {:<32} {:>12.1} ns/iter", id.id, mean_nanos);
+    if let Some(tp) = throughput {
+        let per_sec = |units: u64| units as f64 / (mean_nanos / 1e9);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:>10.0} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:>10.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Declares a benchmark group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags passed by `cargo bench`/`cargo test`
+            // (e.g. --bench, --test); the stand-in always runs everything.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_routine() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_accept_throughput_and_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(4usize), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}
