@@ -1,0 +1,208 @@
+//! GF(2⁸) coding-path throughput: scalar baseline vs the batched slab path.
+//!
+//! Measures end-to-end encode throughput (MB/s of data consumed) across
+//! shard sizes and `(k, m)` code shapes, twice per point:
+//!
+//! * **scalar** — the seed implementation: per-batch `Vec` allocations and
+//!   the per-byte log/exp multiply (`erasure::gf256::scalar`), driven by the
+//!   same systematic Vandermonde matrix the codec builds.
+//! * **batched** — [`erasure::packets::BatchCodec`]: cached codec, recycled
+//!   slab, split-table `mul_slice_xor` kernels (SSSE3 `pshufb` where the CPU
+//!   has it).
+//!
+//! Prints a table and writes `BENCH_encode_throughput.json` into the figures
+//! directory.  Run with `cargo bench -p jqos-bench --bench encode_throughput`
+//! (release profile matters — debug numbers are meaningless);
+//! `JQOS_QUICK=1` shrinks the iteration counts for CI smoke runs.
+
+use std::time::Instant;
+
+use erasure::gf256;
+use erasure::matrix::Matrix;
+use erasure::packets::BatchCodec;
+use jqos_bench::harness::{quick_mode, section, write_json};
+use serde::Serialize;
+
+/// Code shapes exercised: the paper's in-stream default (5, 1), a
+/// straggler-protected cross-stream shape (4, 2), and a wider block (10, 4).
+const CONFIGS: [(usize, usize); 3] = [(5, 1), (4, 2), (10, 4)];
+
+/// Shard sizes in bytes; 1024 is the ISSUE's acceptance point.
+const SHARD_SIZES: [usize; 4] = [256, 1024, 4096, 16384];
+
+/// Rebuilds the systematic `(k + m) × k` encode matrix exactly as
+/// `ReedSolomon::new` does, so the scalar baseline runs the identical math.
+fn systematic_matrix(k: usize, m: usize) -> Matrix {
+    let vandermonde = Matrix::vandermonde(k + m, k);
+    let top = vandermonde.select_rows(&(0..k).collect::<Vec<_>>());
+    let top_inv = top.invert().expect("vandermonde top block invertible");
+    vandermonde.multiply(&top_inv)
+}
+
+/// The seed encode path: allocate parity vectors per batch and accumulate
+/// with the per-byte log/exp kernel.
+fn scalar_encode(matrix: &Matrix, k: usize, m: usize, data: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let len = data[0].len();
+    let mut parity = vec![vec![0u8; len]; m];
+    for (p_idx, parity_shard) in parity.iter_mut().enumerate() {
+        let row = matrix.row(k + p_idx);
+        for (d_idx, data_shard) in data.iter().enumerate() {
+            gf256::scalar::mul_slice_xor(row[d_idx], data_shard, parity_shard);
+        }
+    }
+    parity
+}
+
+/// Deterministic payload bytes (LCG) so runs are comparable.
+fn payloads(k: usize, payload_len: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..k)
+        .map(|_| {
+            (0..payload_len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 33) as u8
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One measured point of the sweep.
+#[derive(Serialize)]
+struct Measurement {
+    k: usize,
+    m: usize,
+    shard_len: usize,
+    iters: u64,
+    scalar_mb_s: f64,
+    batched_mb_s: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    /// Whether the SSSE3 `pshufb` kernel was available at runtime (the
+    /// batched path falls back to portable nibble tables without it).
+    simd_ssse3: bool,
+    quick_mode: bool,
+    /// MB/s counts *data* bytes consumed (`k × shard_len` per batch).
+    unit: &'static str,
+    results: Vec<Measurement>,
+    /// Minimum batched/scalar speedup across configs at 1 KiB shards — the
+    /// ISSUE-6 acceptance number (target ≥ 5×).
+    min_speedup_at_1k: f64,
+}
+
+/// Times `f` over `iters` runs and returns MB/s of data consumed.
+fn mb_per_s(data_bytes_per_iter: usize, iters: u64, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (data_bytes_per_iter as f64 * iters as f64) / secs / 1e6
+}
+
+fn main() {
+    let simd_ssse3 = {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::is_x86_feature_detected!("ssse3")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    };
+
+    section("GF(256) encode throughput: scalar baseline vs batched slab path");
+    println!(
+        "  SSSE3 pshufb kernel: {}",
+        if simd_ssse3 {
+            "active"
+        } else {
+            "unavailable (portable nibble fallback)"
+        }
+    );
+
+    let mut results = Vec::new();
+    let mut codec = BatchCodec::new();
+    for &(k, m) in &CONFIGS {
+        let matrix = systematic_matrix(k, m);
+        for &shard_len in &SHARD_SIZES {
+            // BatchCodec frames packets with a 2-byte length prefix; size the
+            // payloads so its shards are exactly `shard_len` long.
+            let payload_len = shard_len - 2;
+            let data = payloads(k, payload_len, (k * 31 + m) as u64);
+            let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
+            let padded: Vec<Vec<u8>> = data
+                .iter()
+                .map(|p| {
+                    let mut s = Vec::with_capacity(shard_len);
+                    s.extend_from_slice(&(p.len() as u16).to_be_bytes());
+                    s.extend_from_slice(p);
+                    s
+                })
+                .collect();
+
+            // Sanity: both paths must produce identical parity.
+            let expect = scalar_encode(&matrix, k, m, &padded);
+            let got = codec.encode_batch(&refs, m).expect("encode");
+            for (a, b) in expect.iter().zip(&got.parity) {
+                assert_eq!(&a[..], &b[..], "scalar and batched parity diverged");
+            }
+            drop(got);
+
+            // Aim for a few hundred ms per measurement at full size.
+            let data_bytes = k * shard_len;
+            let base_iters = (64 * 1024 * 1024 / data_bytes).max(16) as u64;
+            let iters = if quick_mode() {
+                base_iters / 64
+            } else {
+                base_iters
+            }
+            .max(4);
+
+            let scalar_mb_s = mb_per_s(data_bytes, iters, || {
+                std::hint::black_box(scalar_encode(&matrix, k, m, &padded));
+            });
+            let batched_mb_s = mb_per_s(data_bytes, iters, || {
+                std::hint::black_box(codec.encode_batch(&refs, m).expect("encode"));
+            });
+            let speedup = batched_mb_s / scalar_mb_s.max(1e-9);
+            println!(
+                "  k={k:>2} m={m} shard={shard_len:>5}B  scalar {scalar_mb_s:>8.1} MB/s  batched {batched_mb_s:>9.1} MB/s  speedup {speedup:>5.1}x"
+            );
+            results.push(Measurement {
+                k,
+                m,
+                shard_len,
+                iters,
+                scalar_mb_s,
+                batched_mb_s,
+                speedup,
+            });
+        }
+    }
+
+    let min_speedup_at_1k = results
+        .iter()
+        .filter(|r| r.shard_len == 1024)
+        .map(|r| r.speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("  minimum speedup at 1 KiB shards: {min_speedup_at_1k:.1}x (target >= 5x)");
+
+    write_json(
+        "BENCH_encode_throughput",
+        &Report {
+            simd_ssse3,
+            quick_mode: quick_mode(),
+            unit: "MB/s of data bytes consumed (k * shard_len per batch)",
+            results,
+            min_speedup_at_1k,
+        },
+    );
+}

@@ -13,6 +13,23 @@
 //! rebuild a packet lost on the Internet path from `k − 1` data packets
 //! collected from other receivers plus one cross-stream coded packet.
 //!
+//! ## The batch hot path
+//!
+//! Per-packet encoding dominates a relay's CPU budget, so the crate layers a
+//! slab/batch pipeline on top of the basic codec:
+//!
+//! * [`gf256::mul_slice_xor`] runs the field's multiply-accumulate over whole
+//!   shards with 4-bit split tables, using SSSE3 `pshufb` (16 bytes per
+//!   shuffle) when the CPU supports it and a portable nibble-table loop
+//!   otherwise.  The original per-byte log/exp path survives as
+//!   [`gf256::scalar`] and serves as the reference in tests and benchmarks.
+//! * [`shards::ShardSet`] packs all `k + m` shards of a codeword into one
+//!   contiguous slab, and [`shards::ShardArena`] recycles retired slabs, so
+//!   steady-state encoding does not allocate.
+//! * [`packets::BatchCodec`] caches one [`rs::ReedSolomon`] per `(k, m)`
+//!   shape and exports parity as zero-copy [`bytes::Bytes`] views of the
+//!   slab.
+//!
 //! ```
 //! use erasure::rs::ReedSolomon;
 //!
@@ -30,10 +47,14 @@
 //! assert_eq!(shards[3].as_deref(), Some(&data[3][..]));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod gf256;
 pub mod matrix;
 pub mod packets;
 pub mod rs;
+pub mod shards;
 
-pub use packets::{decode_packets, encode_packets, CodedBatch};
+pub use packets::{decode_packets, encode_packets, BatchCodec, CodedBatch, CodedBatchView};
 pub use rs::{ReedSolomon, RsError};
+pub use shards::{ShardArena, ShardSet};

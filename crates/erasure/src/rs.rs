@@ -7,6 +7,7 @@
 
 use crate::gf256;
 use crate::matrix::Matrix;
+use crate::shards::ShardSet;
 
 /// Errors returned by the codec.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,6 +63,28 @@ impl std::error::Error for RsError {}
 
 /// A systematic Reed–Solomon codec with `k` data shards and `m` parity
 /// shards.
+///
+/// Any `k` of the `k + m` shards reconstruct the original data:
+///
+/// ```
+/// use erasure::rs::ReedSolomon;
+///
+/// let rs = ReedSolomon::new(3, 2).unwrap();
+/// let data: Vec<Vec<u8>> = vec![b"abcd".to_vec(), b"efgh".to_vec(), b"ijkl".to_vec()];
+/// let mut shards: Vec<Option<Vec<u8>>> =
+///     rs.encode_all(&data).unwrap().into_iter().map(Some).collect();
+///
+/// // Lose two shards — one data, one parity — and recover.
+/// shards[0] = None;
+/// shards[4] = None;
+/// rs.reconstruct(&mut shards).unwrap();
+/// assert_eq!(shards[0].as_deref(), Some(&b"abcd"[..]));
+/// ```
+///
+/// Construction builds the systematic encoding matrix (an `O(k³)` inversion),
+/// so codecs are meant to be **created once and reused** across batches —
+/// [`crate::packets::BatchCodec`] caches them per `(k, m)`.  The per-batch
+/// hot path is [`ReedSolomon::encode_into`], which is allocation-free.
 #[derive(Clone, Debug)]
 pub struct ReedSolomon {
     data_shards: usize,
@@ -132,6 +155,9 @@ impl ReedSolomon {
     }
 
     /// Encodes `k` equally sized data shards into `m` parity shards.
+    ///
+    /// Allocates the parity vectors; the allocation-free slab variant is
+    /// [`ReedSolomon::encode_into`].
     pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
         let len = self.check_shards(data)?;
         let mut parity = vec![vec![0u8; len]; self.parity_shards];
@@ -142,6 +168,51 @@ impl ReedSolomon {
             }
         }
         Ok(parity)
+    }
+
+    /// Computes the parity shards of `shards` in place: reads the already
+    /// filled data region of the [`ShardSet`] and overwrites its parity
+    /// region.  Performs **no allocation** — this is the batch hot path the
+    /// DC1 encoder and the Figure 10 engine run per codeword.
+    ///
+    /// The set's geometry must match the codec (`k` data shards, `m` parity
+    /// shards).
+    ///
+    /// ```
+    /// use erasure::{rs::ReedSolomon, shards::ShardSet};
+    ///
+    /// let rs = ReedSolomon::new(4, 2).unwrap();
+    /// let mut set = ShardSet::new(4, 2, 64);
+    /// for i in 0..4 {
+    ///     set.write_data(i, &[i as u8; 64]);
+    /// }
+    /// rs.encode_into(&mut set).unwrap();
+    /// // Parity equals the allocating API's output.
+    /// let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 64]).collect();
+    /// assert_eq!(set.shard(4), &rs.encode(&data).unwrap()[0][..]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if exported [`bytes::Bytes`] views of the set are still alive
+    /// (the set is frozen; see [`ShardSet::shard_bytes`]).
+    pub fn encode_into(&self, shards: &mut ShardSet) -> Result<(), RsError> {
+        if shards.data_shards() != self.data_shards || shards.parity_shards() != self.parity_shards
+        {
+            return Err(RsError::WrongShardCount {
+                expected: self.total_shards(),
+                got: shards.data_shards() + shards.parity_shards(),
+            });
+        }
+        let len = shards.shard_len();
+        let (data, parity) = shards.split_data_parity();
+        parity.fill(0);
+        for (p_idx, parity_shard) in parity.chunks_exact_mut(len).enumerate() {
+            let row = self.encode_matrix.row(self.data_shards + p_idx);
+            for (d_idx, data_shard) in data.chunks_exact(len).enumerate() {
+                gf256::mul_slice_xor(row[d_idx], data_shard, parity_shard);
+            }
+        }
+        Ok(())
     }
 
     /// Encodes and returns all `k + m` shards (data shards are cloned).
@@ -362,6 +433,54 @@ mod tests {
         let rs = ReedSolomon::new(3, 1).unwrap();
         let data = vec![vec![1u8; 10], vec![2u8; 10], vec![3u8; 11]];
         assert_eq!(rs.encode(&data), Err(RsError::ShardLengthMismatch));
+    }
+
+    #[test]
+    fn encode_into_matches_allocating_encode() {
+        use crate::shards::ShardSet;
+        for (k, m, len) in [(4, 2, 64), (5, 1, 512), (2, 3, 33), (10, 4, 100)] {
+            let rs = ReedSolomon::new(k, m).unwrap();
+            let data = sample_data(k, len, (k * 7 + m) as u8);
+            let expected = rs.encode(&data).unwrap();
+            let mut set = ShardSet::new(k, m, len);
+            for (i, d) in data.iter().enumerate() {
+                set.write_data(i, d);
+            }
+            rs.encode_into(&mut set).unwrap();
+            for (p, exp) in expected.iter().enumerate() {
+                assert_eq!(set.shard(k + p), &exp[..], "k={k} m={m} parity {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_rejects_mismatched_geometry() {
+        use crate::shards::ShardSet;
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let mut set = ShardSet::new(3, 2, 16);
+        assert!(matches!(
+            rs.encode_into(&mut set),
+            Err(RsError::WrongShardCount { expected: 6, .. })
+        ));
+    }
+
+    #[test]
+    fn encode_into_overwrites_stale_parity() {
+        use crate::shards::ShardSet;
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        let mut set = ShardSet::new(2, 1, 8);
+        set.write_data(0, &[1; 8]);
+        set.write_data(1, &[2; 8]);
+        rs.encode_into(&mut set).unwrap();
+        let first = set.shard(2).to_vec();
+        // Re-encode different data into the same (recycled) set: the parity
+        // accumulator must be reset, not XORed on top of the old parity.
+        set.write_data(0, &[9; 8]);
+        rs.encode_into(&mut set).unwrap();
+        let second = set.shard(2).to_vec();
+        assert_ne!(first, second);
+        let fresh = rs.encode(&[vec![9u8; 8], vec![2u8; 8]]).unwrap();
+        assert_eq!(second, fresh[0]);
     }
 
     #[test]

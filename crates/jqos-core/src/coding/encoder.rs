@@ -9,7 +9,7 @@
 use bytes::Bytes;
 use netsim::Time;
 
-use erasure::packets::{encode_packets, shard_len_for};
+use erasure::packets::{shard_len_for, BatchCodec};
 use erasure::rs::RsError;
 
 use crate::coding::params::CodingParams;
@@ -41,9 +41,15 @@ impl EncoderStats {
 }
 
 /// The batch encoder living at DC1.
+///
+/// Holds a [`BatchCodec`] so that codec matrices are built once per batch
+/// shape and shard storage is recycled across the coding queue's flushes;
+/// the emitted [`CodedPacket`] shards are zero-copy views of the codec's
+/// slab.
 #[derive(Clone, Debug)]
 pub struct BatchEncoder {
     params: CodingParams,
+    codec: BatchCodec,
     next_batch: u64,
     stats: EncoderStats,
 }
@@ -53,6 +59,7 @@ impl BatchEncoder {
     pub fn new(params: CodingParams) -> Self {
         BatchEncoder {
             params,
+            codec: BatchCodec::new(),
             next_batch: 0,
             stats: EncoderStats::default(),
         }
@@ -84,7 +91,7 @@ impl BatchEncoder {
             .iter()
             .map(|p| p.packet.payload.as_ref())
             .collect();
-        let coded = match encode_packets(&payloads, parity_count) {
+        let coded = match self.codec.encode_batch(&payloads, parity_count) {
             Ok(c) => c,
             Err(_) => return vec![],
         };
@@ -118,7 +125,7 @@ impl BatchEncoder {
                     parity_count,
                     members: members.clone(),
                     shard_len: coded.shard_len,
-                    shard: Bytes::from(shard),
+                    shard,
                     kind: batch.kind,
                     created_at: now,
                 }

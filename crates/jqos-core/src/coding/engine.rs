@@ -12,6 +12,7 @@
 use crossbeam::thread;
 
 use erasure::rs::ReedSolomon;
+use erasure::shards::ShardSet;
 
 /// Configuration of the engine benchmark.
 #[derive(Clone, Copy, Debug)]
@@ -101,23 +102,24 @@ impl EncodingEngine {
             for t in 0..threads {
                 handles.push(s.spawn(move |_| {
                     let rs = ReedSolomon::new(block, parity).expect("valid code");
-                    // Pre-build the block buffers once; refill payloads per
-                    // iteration to defeat trivial caching.
-                    let mut shards: Vec<Vec<u8>> = (0..block).map(|_| vec![0u8; bytes]).collect();
+                    // One slab per thread, reused for every block; refill
+                    // payloads per iteration to defeat trivial caching.
+                    let mut set = ShardSet::new(block, parity, bytes);
                     let mut coded = 0u64;
                     let mut produced = 0u64;
                     let mut counter: u64 = t as u64;
                     while produced < per_thread {
-                        for shard in shards.iter_mut() {
+                        for i in 0..block {
                             counter = counter.wrapping_mul(6364136223846793005).wrapping_add(1);
                             let fill = (counter >> 32) as u8;
+                            let shard = set.data_mut(i);
                             shard[0] = fill;
                             shard[bytes / 2] = fill ^ 0x5A;
                             let last = bytes - 1;
                             shard[last] = fill.wrapping_add(1);
                         }
-                        let parity_shards = rs.encode(&shards).expect("encode");
-                        coded += parity_shards.len() as u64;
+                        rs.encode_into(&mut set).expect("encode");
+                        coded += parity as u64;
                         produced += block as u64;
                     }
                     coded

@@ -52,6 +52,20 @@ fn axis<T>(entries: Vec<(String, T)>) -> Vec<AxisEntry<T>> {
 /// grid only multiplies along the dimensions an experiment actually sweeps.
 /// Point order is the deterministic nested-loop order with `variants`
 /// outermost and `seeds` innermost.
+///
+/// ```
+/// use jqos_core::SweepGrid;
+/// use netsim::loss::LossSpec;
+///
+/// let grid = SweepGrid::new()
+///     .replicates(3)
+///     .loss_models(vec![
+///         ("p1", LossSpec::Bernoulli(0.01)),
+///         ("p5", LossSpec::Bernoulli(0.05)),
+///     ]);
+/// // 3 seeds × 2 loss models; the other three axes stay neutral.
+/// assert_eq!(grid.len(), 6);
+/// ```
 #[derive(Clone, Debug)]
 pub struct SweepGrid {
     seeds: Vec<u64>,
@@ -273,7 +287,21 @@ pub fn default_threads() -> usize {
 ///
 /// The runner must be a pure function of the point (all randomness through
 /// [`SweepPoint::scenario_seed`] / [`SweepPoint::rng`]); the suite then
-/// guarantees that any thread count produces the identical report.
+/// guarantees that any thread count produces the identical report:
+///
+/// ```
+/// use jqos_core::{ExperimentSuite, SweepGrid};
+/// use netsim::stats::PointStats;
+///
+/// let grid = SweepGrid::new().replicates(4);
+/// let suite = ExperimentSuite::new("doubles", 7, grid, |point| {
+///     PointStats::new("").metric("double", (point.index * 2) as f64)
+/// });
+/// let serial = suite.run(1);
+/// let parallel = suite.run(2);
+/// assert_eq!(serial.digest(), parallel.digest());
+/// assert_eq!(serial.report.metric_series("double"), vec![0.0, 2.0, 4.0, 6.0]);
+/// ```
 pub struct ExperimentSuite<R>
 where
     R: Fn(&SweepPoint) -> PointStats + Sync,

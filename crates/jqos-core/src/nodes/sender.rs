@@ -2,7 +2,7 @@
 //!
 //! The sender layer sits "just below the transport" (§5): every application
 //! packet goes out on the direct Internet path and, depending on the flow's
-//! [`PathPolicy`], a copy is also sent toward the ingress DC so that the
+//! [`PathPolicy`](crate::nodes::PathPolicy), a copy is also sent toward the ingress DC so that the
 //! forwarding/caching/coding service can act on it.
 
 use std::any::Any;

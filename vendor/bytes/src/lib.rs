@@ -2,8 +2,13 @@
 //!
 //! Provides [`Bytes`], an immutable, cheaply-cloneable byte buffer backed by
 //! an `Arc<[u8]>`, with the subset of the upstream API this workspace uses:
-//! `from(Vec<u8>)`, `from_static`, `len`, `is_empty`, `as_ref`, `Deref` to
-//! `[u8]`, equality and hashing.
+//! `from(Vec<u8>)`, `from_static`, `from_owner`, `len`, `is_empty`, `as_ref`,
+//! `slice`, `Deref` to `[u8]`, equality and hashing.
+//!
+//! Unlike a plain `Arc<Vec<u8>>`, a [`Bytes`] can be a *view* into a larger
+//! shared allocation: [`Bytes::slice`] and [`Bytes::from_owner`] adjust an
+//! offset/length window without copying, so many views (e.g. the parity
+//! shards of one erasure-coded batch) can share a single slab allocation.
 
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
@@ -18,7 +23,12 @@ pub struct Bytes {
 #[derive(Clone)]
 enum Inner {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    /// A window `[off, off + len)` into a shared allocation.
+    Shared {
+        buf: Arc<[u8]>,
+        off: usize,
+        len: usize,
+    },
 }
 
 impl Bytes {
@@ -33,6 +43,16 @@ impl Bytes {
     pub const fn from_static(bytes: &'static [u8]) -> Self {
         Bytes {
             inner: Inner::Static(bytes),
+        }
+    }
+
+    /// Wraps an existing shared allocation without copying; the returned
+    /// buffer covers the whole slab.  Combine with [`Bytes::slice`] for
+    /// zero-copy windows into a sub-range.
+    pub fn from_owner(buf: Arc<[u8]>) -> Self {
+        let len = buf.len();
+        Bytes {
+            inner: Inner::Shared { buf, off: 0, len },
         }
     }
 
@@ -51,15 +71,32 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
-    /// Returns a sub-buffer covering `range` (copies the range).
+    /// Returns a sub-buffer covering `range`.  Shared buffers are re-windowed
+    /// without copying; only static slices stay static.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        Bytes::from(self.as_slice()[range].to_vec())
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice range {range:?} out of bounds for Bytes of length {}",
+            self.len()
+        );
+        match &self.inner {
+            Inner::Static(s) => Bytes {
+                inner: Inner::Static(&s[range]),
+            },
+            Inner::Shared { buf, off, .. } => Bytes {
+                inner: Inner::Shared {
+                    buf: Arc::clone(buf),
+                    off: off + range.start,
+                    len: range.end - range.start,
+                },
+            },
+        }
     }
 
     fn as_slice(&self) -> &[u8] {
         match &self.inner {
             Inner::Static(s) => s,
-            Inner::Shared(arc) => arc,
+            Inner::Shared { buf, off, len } => &buf[*off..*off + *len],
         }
     }
 }
@@ -72,9 +109,7 @@ impl Default for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes {
-            inner: Inner::Shared(v.into()),
-        }
+        Bytes::from_owner(v.into())
     }
 }
 
@@ -163,5 +198,25 @@ mod tests {
         assert_eq!(s, h);
         assert!(!s.is_empty());
         assert_eq!(s.slice(1..3), Bytes::from_static(b"bc"));
+    }
+
+    #[test]
+    fn slices_of_shared_buffers_are_zero_copy_windows() {
+        let slab: Arc<[u8]> = vec![0, 1, 2, 3, 4, 5, 6, 7].into();
+        let whole = Bytes::from_owner(Arc::clone(&slab));
+        let view = whole.slice(2..6);
+        assert_eq!(&view[..], &[2, 3, 4, 5]);
+        // The view holds a reference to the same slab, not a copy.
+        assert_eq!(Arc::strong_count(&slab), 3);
+        let nested = view.slice(1..3);
+        assert_eq!(&nested[..], &[3, 4]);
+        drop((whole, view, nested));
+        assert_eq!(Arc::strong_count(&slab), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_slice_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(1..5);
     }
 }

@@ -115,7 +115,7 @@ pub mod collection {
     use super::Strategy;
     use rand::rngs::SmallRng;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: core::ops::Range<usize>,
