@@ -34,12 +34,34 @@ pub fn sized(full: usize, quick: usize) -> usize {
     }
 }
 
+/// Where `BENCH_*.json` aggregates are published for version control:
+/// `JQOS_BENCH_ROOT` if set, otherwise the repository root (the figures
+/// directory under `target/` is gitignored, so without this copy the bench
+/// history would never land in the repo).
+pub fn bench_root() -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("JQOS_BENCH_ROOT")
+            .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../..").into()),
+    );
+    fs::create_dir_all(&dir).expect("create bench root dir");
+    dir
+}
+
 /// Writes a JSON document describing one figure's data series.
+///
+/// Documents whose name starts with `BENCH_` are benchmark aggregates and
+/// are additionally published to [`bench_root`] so each bench run refreshes
+/// the committed perf trajectory.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = figures_dir().join(format!("{name}.json"));
     let body = serde_json::to_string_pretty(value).expect("serialise figure data");
-    fs::write(&path, body).expect("write figure data");
+    fs::write(&path, &body).expect("write figure data");
     println!("  [data written to {}]", path.display());
+    if name.starts_with("BENCH_") {
+        let published = bench_root().join(format!("{name}.json"));
+        fs::write(&published, &body).expect("publish bench data");
+        println!("  [bench aggregate published to {}]", published.display());
+    }
 }
 
 /// A named distribution, serialised with its CDF points for plotting.

@@ -11,6 +11,7 @@
 //! | `fig10_scaling`     | Fig. 10: encoder throughput vs. number of threads                   |
 //! | `sec65_mobile`      | §6.5: mobile feasibility (bandwidth, energy, latency)               |
 //! | `sec66_cost`        | §6.6: deployment cost and coding-overhead table                     |
+//! | `sweep_stress`      | Scheduler stress: seed `BinaryHeap` vs calendar queue events/sec    |
 //!
 //! Every binary prints the series it produces and also dumps them as JSON
 //! under `target/figures/` so `EXPERIMENTS.md` can be regenerated.  Criterion
@@ -26,3 +27,5 @@
 
 pub mod figures;
 pub mod harness;
+pub mod seedsim;
+pub mod stress;

@@ -1,0 +1,329 @@
+//! A faithful replica of the *seed* netsim engine, kept as the benchmark
+//! baseline for the hot-loop rework.
+//!
+//! The production engine in `netsim` replaced, in one package: the
+//! `BinaryHeap<Event>` scheduler sifting full message payloads (with the
+//! slab + calendar queue), the `HashMap<(NodeId, NodeId), Link>` route
+//! lookup (with dense per-source adjacency rows), the `HashSet<u64>` timer
+//! cancellations (with a bitset), and the per-event scan over all nodes for
+//! pending `on_start` calls (with a counter).  Measuring the new engine
+//! against its own `QueueKind::Heap` backend would therefore credit only the
+//! scheduler swap; this module preserves the seed's exact data structures —
+//! reusing the unchanged [`Link`]/[`LinkSpec`] models and RNG streams so a
+//! run is event-for-event identical to the production engine — and gives
+//! `sweep_stress` the true before/after comparison.  The digest equality
+//! between this engine and both production backends is asserted on every
+//! benchmark run.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use jqos_core::packet::Msg;
+use netsim::prelude::*;
+use netsim::rng::{component_rng, link_rng};
+use netsim::sim::SimStats;
+use netsim::{Link, LinkStats};
+use rand::rngs::SmallRng;
+
+enum SeedEventKind {
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: Msg,
+    },
+    Timer {
+        node: NodeId,
+        timer: TimerId,
+        tag: u64,
+    },
+}
+
+struct SeedEvent {
+    at: Time,
+    seq: u64,
+    kind: SeedEventKind,
+}
+
+impl PartialEq for SeedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for SeedEvent {}
+
+impl PartialOrd for SeedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SeedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse so the max-heap pops the earliest event first — the seed's
+        // ordering, which the production queue reproduces exactly.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The mutable engine state handlers interact with through [`SeedContext`].
+struct SeedCore {
+    now: Time,
+    queue: BinaryHeap<SeedEvent>,
+    next_seq: u64,
+    links: HashMap<(NodeId, NodeId), Link>,
+    #[allow(dead_code)]
+    node_rngs: Vec<SmallRng>,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    stats: SimStats,
+    master_seed: u64,
+}
+
+impl SeedCore {
+    fn push(&mut self, at: Time, kind: SeedEventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(SeedEvent { at, seq, kind });
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: Msg) {
+        let now = self.now;
+        let outcome = match self.links.get_mut(&(from, to)) {
+            Some(link) => link.offer(now, 0),
+            None => {
+                self.stats.no_route += 1;
+                return;
+            }
+        };
+        match outcome {
+            netsim::link::LinkOutcome::Deliver(latency) => {
+                self.stats.messages_sent += 1;
+                self.push(now + latency, SeedEventKind::Deliver { to, from, msg });
+            }
+            netsim::link::LinkOutcome::DroppedLoss => self.stats.messages_dropped_loss += 1,
+            netsim::link::LinkOutcome::DroppedQueue => self.stats.messages_dropped_queue += 1,
+        }
+    }
+
+    fn set_timer(&mut self, node: NodeId, delay: Dur, tag: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        let at = self.now + delay;
+        self.push(
+            at,
+            SeedEventKind::Timer {
+                node,
+                timer: id,
+                tag,
+            },
+        );
+        id
+    }
+}
+
+/// The handler surface of the seed engine — the subset of `netsim::Context`
+/// the stress workload uses.
+pub struct SeedContext<'a> {
+    core: &'a mut SeedCore,
+    node: NodeId,
+}
+
+impl SeedContext<'_> {
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        self.core.now
+    }
+
+    /// Sends `msg` to `to` over the registered link.
+    pub fn send(&mut self, to: NodeId, msg: Msg) {
+        self.core.send(self.node, to, msg);
+    }
+
+    /// Sets a timer that fires after `delay` with the given `tag`.
+    pub fn set_timer(&mut self, delay: Dur, tag: u64) -> TimerId {
+        self.core.set_timer(self.node, delay, tag)
+    }
+}
+
+/// A node driven by the seed engine.
+pub trait SeedNode: 'static {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut SeedContext<'_>) {
+        let _ = ctx;
+    }
+    /// Called when a message is delivered to this node.
+    fn on_message(&mut self, ctx: &mut SeedContext<'_>, from: NodeId, msg: Msg);
+    /// Called when a timer set by this node fires.
+    fn on_timer(&mut self, ctx: &mut SeedContext<'_>, timer: TimerId, tag: u64) {
+        let _ = (ctx, timer, tag);
+    }
+    /// Downcasting hook for post-run inspection.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// The seed discrete-event simulator (baseline engine).
+pub struct SeedSimulator {
+    core: SeedCore,
+    nodes: Vec<Option<Box<dyn SeedNode>>>,
+    started: Vec<bool>,
+}
+
+impl SeedSimulator {
+    /// An empty seed simulator with the given master seed; RNG streams match
+    /// the production engine's, so runs are event-for-event identical.
+    pub fn new(master_seed: u64) -> Self {
+        SeedSimulator {
+            core: SeedCore {
+                now: Time::ZERO,
+                queue: BinaryHeap::new(),
+                next_seq: 0,
+                links: HashMap::new(),
+                node_rngs: Vec::new(),
+                next_timer: 0,
+                cancelled: HashSet::new(),
+                stats: SimStats::default(),
+                master_seed,
+            },
+            nodes: Vec::new(),
+            started: Vec::new(),
+        }
+    }
+
+    /// Adds a node and returns its identifier.
+    pub fn add_node<N: SeedNode>(&mut self, node: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(Box::new(node)));
+        self.started.push(false);
+        let seed_stream = id.0 as u64;
+        self.core
+            .node_rngs
+            .push(component_rng(self.core.master_seed, seed_stream));
+        id
+    }
+
+    /// Adds a bidirectional link (two independent unidirectional links, the
+    /// same construction and RNG streams as the production engine).
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        let master = self.core.master_seed;
+        self.core
+            .links
+            .insert((a, b), spec.build(link_rng(master, a.0 as u64, b.0 as u64)));
+        self.core
+            .links
+            .insert((b, a), spec.build(link_rng(master, b.0 as u64, a.0 as u64)));
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> SimStats {
+        self.core.stats
+    }
+
+    /// Per-link counters for the link from `a` to `b`.
+    pub fn link_stats(&self, a: NodeId, b: NodeId) -> Option<LinkStats> {
+        self.core.links.get(&(a, b)).map(|l| l.stats())
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// Downcasts a node for post-run inspection.
+    ///
+    /// # Panics
+    /// Panics if the node is unknown or of a different type.
+    pub fn node_as<T: 'static>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.0]
+            .as_mut()
+            .expect("node is currently checked out")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node type mismatch in node_as")
+    }
+
+    /// The seed's start scan: runs on *every* step, touching every node's
+    /// started flag — one of the hot-loop costs the rework removed.
+    fn start_pending(&mut self) {
+        for idx in 0..self.nodes.len() {
+            if self.started[idx] {
+                continue;
+            }
+            self.started[idx] = true;
+            let mut node = self.nodes[idx].take().expect("node missing at start");
+            {
+                let mut ctx = SeedContext {
+                    core: &mut self.core,
+                    node: NodeId(idx),
+                };
+                node.on_start(&mut ctx);
+            }
+            self.nodes[idx] = Some(node);
+        }
+    }
+
+    /// Processes a single event.  Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        self.start_pending();
+        let event = match self.core.queue.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        self.core.now = event.at;
+        self.core.stats.events_processed += 1;
+        match event.kind {
+            SeedEventKind::Deliver { to, from, msg } => {
+                if to.0 >= self.nodes.len() {
+                    return true;
+                }
+                self.core.stats.messages_delivered += 1;
+                let mut node = self.nodes[to.0].take().expect("node checked out");
+                {
+                    let mut ctx = SeedContext {
+                        core: &mut self.core,
+                        node: to,
+                    };
+                    node.on_message(&mut ctx, from, msg);
+                }
+                self.nodes[to.0] = Some(node);
+            }
+            SeedEventKind::Timer {
+                node: nid,
+                timer,
+                tag,
+            } => {
+                if self.core.cancelled.remove(&timer.0) {
+                    return true;
+                }
+                if nid.0 >= self.nodes.len() {
+                    return true;
+                }
+                self.core.stats.timers_fired += 1;
+                let mut node = self.nodes[nid.0].take().expect("node checked out");
+                {
+                    let mut ctx = SeedContext {
+                        core: &mut self.core,
+                        node: nid,
+                    };
+                    node.on_timer(&mut ctx, timer, tag);
+                }
+                self.nodes[nid.0] = Some(node);
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue is empty or the clock reaches `deadline`;
+    /// events scheduled exactly at the deadline are processed.
+    pub fn run_until(&mut self, deadline: Time) {
+        self.start_pending();
+        while let Some(next_at) = self.core.queue.peek().map(|e| e.at) {
+            if next_at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.core.now < deadline {
+            self.core.now = deadline;
+        }
+    }
+}

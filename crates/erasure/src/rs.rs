@@ -215,6 +215,94 @@ impl ReedSolomon {
         Ok(())
     }
 
+    /// Rebuilds the missing *data* shards of a [`ShardSet`] in place.
+    ///
+    /// `present[i]` marks whether overall shard `i` (data shards first, then
+    /// parity) currently holds valid bytes; any `k` present shards suffice.
+    /// Missing data shards are overwritten with the reconstructed bytes;
+    /// present shards are never touched, and missing parity shards are left
+    /// alone (re-derive them with [`ReedSolomon::encode_into`] once the data
+    /// region is complete, if needed).
+    ///
+    /// This is the decode counterpart of [`ReedSolomon::encode_into`]: the
+    /// per-byte work runs entirely inside the set's slab (sources and
+    /// targets are split out of the same allocation via
+    /// [`ShardSet::shard_pair_mut`]), so an arena-leased set decodes without
+    /// allocating shard buffers — only the small `k × k` decode matrix is
+    /// built per call.
+    ///
+    /// ```
+    /// use erasure::{rs::ReedSolomon, shards::ShardSet};
+    ///
+    /// let rs = ReedSolomon::new(4, 2).unwrap();
+    /// let mut set = ShardSet::new(4, 2, 64);
+    /// for i in 0..4 {
+    ///     set.write_data(i, &[i as u8 + 1; 64]);
+    /// }
+    /// rs.encode_into(&mut set).unwrap();
+    /// // Lose data shards 1 and 3; recover them from the rest.
+    /// let mut present = vec![true; 6];
+    /// present[1] = false;
+    /// present[3] = false;
+    /// set.data_mut(1).fill(0);
+    /// set.data_mut(3).fill(0);
+    /// rs.decode_into(&mut set, &present).unwrap();
+    /// assert_eq!(set.shard(1), &[2u8; 64][..]);
+    /// assert_eq!(set.shard(3), &[4u8; 64][..]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if exported [`bytes::Bytes`] views of the set are still alive.
+    pub fn decode_into(&self, shards: &mut ShardSet, present: &[bool]) -> Result<(), RsError> {
+        let total = self.total_shards();
+        if shards.data_shards() != self.data_shards || shards.parity_shards() != self.parity_shards
+        {
+            return Err(RsError::WrongShardCount {
+                expected: total,
+                got: shards.data_shards() + shards.parity_shards(),
+            });
+        }
+        if present.len() != total {
+            return Err(RsError::WrongShardCount {
+                expected: total,
+                got: present.len(),
+            });
+        }
+        let present_count = present.iter().filter(|&&p| p).count();
+        if present_count < self.data_shards {
+            return Err(RsError::NotEnoughShards {
+                needed: self.data_shards,
+                present: present_count,
+            });
+        }
+        if present[..self.data_shards].iter().all(|&p| p) {
+            return Ok(());
+        }
+        // Solve for the original data from the first k present shards.
+        let use_rows: Vec<usize> = (0..total)
+            .filter(|&i| present[i])
+            .take(self.data_shards)
+            .collect();
+        let sub = self.encode_matrix.select_rows(&use_rows);
+        let decode = sub
+            .invert()
+            .expect("any k rows of an MDS encoding matrix are invertible");
+        for (d, &have) in present.iter().enumerate().take(self.data_shards) {
+            if have {
+                continue;
+            }
+            shards.data_mut(d).fill(0);
+            // data[d] = sum_j decode[d][j] * shard[use_rows[j]]; the sources
+            // are all present shards, so none aliases the target.
+            for (j, &src) in use_rows.iter().enumerate() {
+                let coeff = decode.get(d, j);
+                let (src_shard, dst_shard) = shards.shard_pair_mut(src, d);
+                gf256::mul_slice_xor(coeff, src_shard, dst_shard);
+            }
+        }
+        Ok(())
+    }
+
     /// Encodes and returns all `k + m` shards (data shards are cloned).
     pub fn encode_all(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
         let parity = self.encode(data)?;
@@ -484,6 +572,40 @@ mod tests {
     }
 
     #[test]
+    fn decode_into_rejects_bad_inputs() {
+        use crate::shards::ShardSet;
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let mut set = ShardSet::new(4, 2, 16);
+        // Wrong present-mask length.
+        assert!(matches!(
+            rs.decode_into(&mut set, &[true; 5]),
+            Err(RsError::WrongShardCount {
+                expected: 6,
+                got: 5
+            })
+        ));
+        // Too few shards present.
+        assert_eq!(
+            rs.decode_into(&mut set, &[true, true, true, false, false, false]),
+            Err(RsError::NotEnoughShards {
+                needed: 4,
+                present: 3
+            })
+        );
+        // Wrong geometry.
+        let mut small = ShardSet::new(3, 2, 16);
+        assert!(matches!(
+            rs.decode_into(&mut small, &[true; 5]),
+            Err(RsError::WrongShardCount { expected: 6, .. })
+        ));
+        // All data present: a no-op even with parity missing.
+        assert_eq!(
+            rs.decode_into(&mut set, &[true, true, true, true, false, false]),
+            Ok(())
+        );
+    }
+
+    #[test]
     fn parity_is_deterministic() {
         let rs = ReedSolomon::new(6, 2).unwrap();
         let data = sample_data(6, 256, 6);
@@ -597,6 +719,59 @@ mod tests {
             rs.reconstruct_data(&mut shards).unwrap();
             let rebuilt: Vec<Vec<u8>> = shards[..k].iter().map(|s| s.clone().unwrap()).collect();
             prop_assert_eq!(rs.encode(&rebuilt).unwrap(), parity);
+        }
+
+        /// In-place decode round-trips against the in-place encode: for any
+        /// shape and random payload, `encode_into` followed by ≤ r random
+        /// drops and `decode_into` restores the data region bit-exactly —
+        /// even when the dropped shards are scribbled over first.
+        #[test]
+        fn prop_decode_into_roundtrips_encode_into(
+            k in 1usize..10,
+            r in 1usize..5,
+            len in 1usize..96,
+            payload in proptest::collection::vec(any::<u8>(), 1..960),
+            picks in proptest::collection::vec(any::<u64>(), 0..8),
+        ) {
+            use crate::shards::ShardSet;
+            let rs = ReedSolomon::new(k, r).unwrap();
+            let total = k + r;
+            let mut set = ShardSet::new(k, r, len);
+            for i in 0..k {
+                let shard: Vec<u8> =
+                    (0..len).map(|j| payload[(i * len + j) % payload.len()]).collect();
+                set.write_data(i, &shard);
+            }
+            rs.encode_into(&mut set).unwrap();
+            let original: Vec<Vec<u8>> = (0..total).map(|i| set.shard(i).to_vec()).collect();
+
+            // Drop up to r distinct shards anywhere in the batch, scribbling
+            // over the dropped bytes so stale content cannot pass the check.
+            let mut present = vec![true; total];
+            for pick in picks.iter().take(r) {
+                present[(*pick as usize) % total] = false;
+            }
+            for (i, &have) in present.iter().enumerate().take(k) {
+                if !have {
+                    set.data_mut(i).fill(0xAA);
+                }
+            }
+            rs.decode_into(&mut set, &present).unwrap();
+            for (d, orig) in original.iter().take(k).enumerate() {
+                prop_assert_eq!(set.shard(d), &orig[..], "data shard {}", d);
+            }
+            // Present parity shards were never touched.
+            for p in k..total {
+                if present[p] {
+                    prop_assert_eq!(set.shard(p), &original[p][..], "parity shard {}", p);
+                }
+            }
+            // With the data region complete, re-encoding in place restores
+            // any dropped parity to the original bytes.
+            rs.encode_into(&mut set).unwrap();
+            for (i, orig) in original.iter().enumerate() {
+                prop_assert_eq!(set.shard(i), &orig[..], "shard {} after re-encode", i);
+            }
         }
 
         /// Cooperative-recovery shape: one coded packet plus k-1 of the data

@@ -127,6 +127,30 @@ impl ShardSet {
         (&data[..], parity)
     }
 
+    /// Borrows shard `src` read-only and shard `dst` mutably at the same
+    /// time — the shape a decoder's accumulate loop needs when it rebuilds a
+    /// missing shard from the other shards of the *same* slab (see
+    /// [`crate::rs::ReedSolomon::decode_into`]).
+    ///
+    /// # Panics
+    /// Panics if `src == dst`, either index is out of range, or a view is
+    /// still alive.
+    pub fn shard_pair_mut(&mut self, src: usize, dst: usize) -> (&[u8], &mut [u8]) {
+        let total = self.data_shards + self.parity_shards;
+        assert!(src < total, "source shard index {src}");
+        assert!(dst < total, "destination shard index {dst}");
+        assert_ne!(src, dst, "source and destination shards must differ");
+        let len = self.shard_len;
+        let slab = self.slab_mut();
+        if src < dst {
+            let (head, tail) = slab.split_at_mut(dst * len);
+            (&head[src * len..(src + 1) * len], &mut tail[..len])
+        } else {
+            let (head, tail) = slab.split_at_mut(src * len);
+            (&tail[..len], &mut head[dst * len..(dst + 1) * len])
+        }
+    }
+
     /// Exports the `i`-th shard as a zero-copy [`Bytes`] view sharing the
     /// slab.  After the first export the set is frozen: mutating methods
     /// panic until every view (and any [`ShardArena`] recycling of the slab
@@ -264,6 +288,28 @@ mod tests {
         assert_eq!(&v0[..], &[7, 7, 7]);
         assert_eq!(&p1[..], &[0, 0, 0]);
         assert!(!set.is_unique(), "views must share, not copy");
+    }
+
+    #[test]
+    fn shard_pair_borrows_both_directions() {
+        let mut set = ShardSet::new(2, 1, 4);
+        set.write_data(0, &[1, 2, 3, 4]);
+        set.write_data(1, &[5, 6, 7, 8]);
+        let (src, dst) = set.shard_pair_mut(0, 2);
+        assert_eq!(src, &[1, 2, 3, 4]);
+        dst.copy_from_slice(src);
+        // And with the source after the destination.
+        let (src, dst) = set.shard_pair_mut(2, 1);
+        assert_eq!(src, &[1, 2, 3, 4]);
+        dst[0] = 9;
+        assert_eq!(set.shard(1), &[9, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn shard_pair_rejects_aliasing() {
+        let mut set = ShardSet::new(2, 1, 4);
+        let _ = set.shard_pair_mut(1, 1);
     }
 
     #[test]

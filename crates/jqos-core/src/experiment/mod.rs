@@ -41,6 +41,7 @@ pub struct Scenario {
     coding: CodingParams,
     dc2_config: Dc2Config,
     flows: Vec<FlowPlan>,
+    queue: QueueKind,
 }
 
 impl Scenario {
@@ -52,7 +53,17 @@ impl Scenario {
             coding: CodingParams::default(),
             dc2_config: Dc2Config::default(),
             flows: Vec::new(),
+            queue: QueueKind::default(),
         }
+    }
+
+    /// Pins the simulator's scheduler backend (default: calendar queue).
+    /// Both backends produce byte-identical reports — a test-enforced
+    /// invariant — so this only matters for benchmarking them against each
+    /// other.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
     }
 
     /// Replaces the base topology (access/inter-DC latencies and the default
@@ -116,7 +127,8 @@ impl Scenario {
         // figure scenarios.
         let nodes_hint = 2 + 2 * self.flows.len();
         let events_hint = (64 * self.flows.len()).clamp(256, 8_192);
-        let mut sim: Simulator<Msg> = Simulator::with_capacity(self.seed, nodes_hint, events_hint);
+        let mut sim: Simulator<Msg> =
+            Simulator::with_capacity_and_queue(self.seed, self.queue, nodes_hint, events_hint);
         let topo = &self.topology;
 
         // The DC nodes are added first so their ids are known when flows are

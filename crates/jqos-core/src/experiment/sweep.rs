@@ -282,6 +282,71 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Picks the intra-point worker count for scenarios decomposed into
+/// independent link groups: `JQOS_INTRA_THREADS` if set, otherwise 1
+/// (intra-point parallelism off).
+///
+/// Unlike [`default_threads`] this defaults to *serial*: most sweep points
+/// are small, and the across-point workers already use the machine.  Set the
+/// variable for single large points (e.g. the stress scenario).
+pub fn default_intra_threads() -> usize {
+    if let Ok(v) = std::env::var("JQOS_INTRA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    1
+}
+
+/// Runs `parts` independent link-group computations on up to `threads`
+/// workers and returns their results in group order.
+///
+/// This is the intra-point counterpart of [`ExperimentSuite::run`]: results
+/// land in a slot vector indexed by group, so scheduling never leaks into
+/// the output, and each group must derive its randomness from its own index
+/// (see [`netsim::rng::group_seed`]) — under those rules any `threads` value
+/// returns byte-identical results.
+///
+/// ```
+/// use jqos_core::experiment::sweep::run_link_groups;
+///
+/// let serial = run_link_groups(8, 1, |g| g * g);
+/// let parallel = run_link_groups(8, 4, |g| g * g);
+/// assert_eq!(serial, parallel);
+/// assert_eq!(serial[3], 9);
+/// ```
+pub fn run_link_groups<T, F>(parts: usize, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(parts.max(1));
+    if threads == 1 {
+        return (0..parts).map(&run).collect();
+    }
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..parts).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= parts {
+                    break;
+                }
+                let result = run(idx);
+                slots.lock().expect("link-group slot lock")[idx] = Some(result);
+            });
+        }
+    })
+    .expect("link-group worker panicked");
+    slots
+        .into_inner()
+        .expect("link-group slot lock")
+        .into_iter()
+        .map(|slot| slot.expect("every link group must complete"))
+        .collect()
+}
+
 /// A named experiment: a grid plus the runner that turns one point into its
 /// [`PointStats`].
 ///
@@ -577,5 +642,19 @@ mod tests {
     #[test]
     fn default_threads_is_at_least_one() {
         assert!(default_threads() >= 1);
+        assert!(default_intra_threads() >= 1);
+    }
+
+    #[test]
+    fn link_groups_return_in_group_order_for_any_thread_count() {
+        for threads in [1, 2, 4, 9] {
+            let out = run_link_groups(7, threads, |g| (g, netsim::rng::group_seed(5, g as u64)));
+            assert_eq!(out.len(), 7);
+            for (i, (g, seed)) in out.iter().enumerate() {
+                assert_eq!(*g, i);
+                assert_eq!(*seed, netsim::rng::group_seed(5, i as u64));
+            }
+        }
+        assert!(run_link_groups(0, 4, |g| g).is_empty());
     }
 }

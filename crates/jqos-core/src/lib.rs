@@ -41,7 +41,10 @@ pub mod recovery;
 pub mod select;
 pub mod services;
 
-pub use experiment::sweep::{default_threads, ExperimentSuite, SuiteReport, SweepGrid, SweepPoint};
+pub use experiment::sweep::{
+    default_intra_threads, default_threads, run_link_groups, ExperimentSuite, SuiteReport,
+    SweepGrid, SweepPoint,
+};
 pub use experiment::{FlowReport, PacketOutcome, Scenario, ScenarioReport};
 pub use packet::{BatchId, CodedPacket, DataPacket, FlowId, Msg, SeqNo};
 pub use select::{PathDelays, Registration, Selection, ServiceKind, ServiceSelector};
@@ -51,7 +54,8 @@ pub mod prelude {
     pub use crate::coding::params::CodingParams;
     pub use crate::cost::{CostModel, Pricing, WorkloadProfile};
     pub use crate::experiment::sweep::{
-        default_threads, ExperimentSuite, SuiteReport, SweepGrid, SweepPoint,
+        default_intra_threads, default_threads, run_link_groups, ExperimentSuite, SuiteReport,
+        SweepGrid, SweepPoint,
     };
     pub use crate::experiment::{FlowReport, PacketOutcome, Scenario, ScenarioReport};
     pub use crate::nodes::dc2::Dc2Config;

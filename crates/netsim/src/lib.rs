@@ -61,9 +61,10 @@ pub mod topology;
 pub mod trace;
 
 pub use delay::{DelayModel, DelaySpec};
+pub use event::QueueKind;
 pub use link::{Link, LinkSpec, LinkStats};
 pub use loss::{LossModel, LossSpec};
-pub use node::{Context, Node, NodeId, TimerId};
+pub use node::{Context, Node, NodeId, NodeSlab, TimerId};
 pub use sim::{SimStats, Simulator};
 pub use stats::{Cdf, PointStats, Summary, SweepReport};
 pub use time::{Dur, Time};
@@ -72,6 +73,7 @@ pub use topology::Topology;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::delay::{DelayModel, DelaySpec};
+    pub use crate::event::QueueKind;
     pub use crate::link::{LinkSpec, LinkStats};
     pub use crate::loss::{LossModel, LossSpec};
     pub use crate::node::{Context, Node, NodeId, TimerId};

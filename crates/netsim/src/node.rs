@@ -126,6 +126,87 @@ impl<'a, M: Clone + 'static> Context<'a, M> {
     }
 }
 
+/// Index-based storage for the simulator's nodes.
+///
+/// Nodes are stored in a vector of slots addressed by [`NodeId`]; while a
+/// node's handler runs, the engine *checks out* the boxed node (leaving the
+/// slot empty) so the handler can borrow the rest of the engine mutably, then
+/// checks it back in.  The checkout is a pointer move — the node itself never
+/// relocates.
+pub struct NodeSlab<M> {
+    slots: Vec<Option<Box<dyn Node<M>>>>,
+}
+
+impl<M> NodeSlab<M> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        NodeSlab { slots: Vec::new() }
+    }
+
+    /// An empty slab pre-sized for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        NodeSlab {
+            slots: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Adds a node and returns the identifier of its slot.
+    pub fn insert(&mut self, node: Box<dyn Node<M>>) -> NodeId {
+        let id = NodeId(self.slots.len());
+        self.slots.push(Some(node));
+        id
+    }
+
+    /// Number of slots (checked-out nodes included).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the slab holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether `id` names a slot in this slab.
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.0 < self.slots.len()
+    }
+
+    /// Removes the node from its slot for the duration of a handler call.
+    ///
+    /// # Panics
+    /// Panics if the slot is out of range or already checked out.
+    pub fn checkout(&mut self, id: NodeId) -> Box<dyn Node<M>> {
+        self.slots[id.0].take().expect("node already checked out")
+    }
+
+    /// Returns a checked-out node to its slot.
+    ///
+    /// # Panics
+    /// Panics if the slot is out of range.
+    pub fn checkin(&mut self, id: NodeId, node: Box<dyn Node<M>>) {
+        debug_assert!(self.slots[id.0].is_none(), "slot already occupied");
+        self.slots[id.0] = Some(node);
+    }
+
+    /// Mutable access to a node in its slot.
+    ///
+    /// # Panics
+    /// Panics if the slot is out of range or the node is checked out.
+    pub fn get_mut(&mut self, id: NodeId) -> &mut dyn Node<M> {
+        self.slots[id.0]
+            .as_mut()
+            .expect("node is currently checked out")
+            .as_mut()
+    }
+}
+
+impl<M> Default for NodeSlab<M> {
+    fn default() -> Self {
+        NodeSlab::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +215,31 @@ mod tests {
     fn node_id_formats_compactly() {
         assert_eq!(format!("{}", NodeId(3)), "n3");
         assert_eq!(format!("{:?}", NodeId(12)), "n12");
+    }
+
+    struct Dummy(u32);
+    impl Node<()> for Dummy {
+        fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: NodeId, _msg: ()) {}
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn node_slab_checkout_and_checkin_round_trip() {
+        let mut slab: NodeSlab<()> = NodeSlab::with_capacity(4);
+        let a = slab.insert(Box::new(Dummy(1)));
+        let b = slab.insert(Box::new(Dummy(2)));
+        assert_eq!(slab.len(), 2);
+        assert!(slab.contains(b));
+        assert!(!slab.contains(NodeId(2)));
+        let node = slab.checkout(a);
+        slab.checkin(a, node);
+        let d = slab
+            .get_mut(a)
+            .as_any_mut()
+            .downcast_mut::<Dummy>()
+            .unwrap();
+        assert_eq!(d.0, 1);
     }
 }

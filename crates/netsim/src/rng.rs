@@ -45,6 +45,25 @@ pub fn link_rng(master: u64, from: u64, to: u64) -> SmallRng {
     component_rng(master, link_stream(from, to))
 }
 
+/// Stream-label tag for independent link groups run under intra-point
+/// parallelism; keeps group streams disjoint from node and link streams.
+const GROUP_STREAM_TAG: u64 = 0x4752_4F55_5053_5452; // "GROUPSTR"
+
+/// Derives the stream label for independent link group `group`.
+pub fn group_stream(group: u64) -> u64 {
+    derive_seed(GROUP_STREAM_TAG, group)
+}
+
+/// Derives the master seed of the sub-simulation for link group `group`.
+///
+/// A scenario decomposed into independent link groups gives each group its
+/// own simulator seeded by this function, so the result is *defined* by the
+/// decomposition — running groups serially or on worker threads produces
+/// byte-identical reports.
+pub fn group_seed(master: u64, group: u64) -> u64 {
+    derive_seed(master, group_stream(group))
+}
+
 /// Samples a standard normal deviate using the Box–Muller transform.
 ///
 /// `rand_distr` is intentionally not a dependency; this is the only
@@ -98,6 +117,23 @@ mod tests {
         for from in 0..8u64 {
             for to in 0..8u64 {
                 assert!(link_stream(from, to) > 1024, "{from}->{to}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_streams_are_deterministic_and_disjoint() {
+        assert_eq!(group_seed(42, 3), group_seed(42, 3));
+        assert_ne!(group_seed(42, 3), group_seed(42, 4));
+        assert_ne!(group_seed(42, 3), group_seed(43, 3));
+        // Group streams must not collide with node streams (raw indices) or
+        // link streams for small topologies.
+        for g in 0..8u64 {
+            assert!(group_stream(g) > 1024, "group {g}");
+            for from in 0..8u64 {
+                for to in 0..8u64 {
+                    assert_ne!(group_stream(g), link_stream(from, to));
+                }
             }
         }
     }

@@ -4,14 +4,19 @@
 //! Experiments build a topology, add protocol nodes, run the clock forward
 //! and then inspect node state (via [`Simulator::node_as`]) and link
 //! statistics to produce the data series reported in `EXPERIMENTS.md`.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! The inner loop is allocation- and hash-free: nodes live in an index-based
+//! [`NodeSlab`], links are resolved through per-node sorted adjacency rows
+//! (binary search over a dense `Vec`, no hasher), timer cancellations are a
+//! bitset keyed by the monotone timer id, and the event queue defaults to the
+//! slab + calendar backend (see [`crate::event`]).  Every constructor takes
+//! or defaults a [`QueueKind`] so tests can pin either scheduler.
 
 use rand::rngs::SmallRng;
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, EventQueue, QueueKind};
 use crate::link::{Link, LinkOutcome, LinkSpec, LinkStats};
-use crate::node::{Context, Node, NodeId, TimerId};
+use crate::node::{Context, Node, NodeId, NodeSlab, TimerId};
 use crate::rng::{component_rng, link_rng};
 use crate::time::{Dur, Time};
 
@@ -34,29 +39,106 @@ pub struct SimStats {
     pub events_processed: u64,
 }
 
+/// Directed links stored densely, resolved through per-source adjacency rows
+/// kept sorted by destination.  Lookup is a binary search over a few
+/// cache-resident `(u32, u32)` pairs — no hashing on the send path.
+#[derive(Default)]
+struct LinkTable {
+    links: Vec<Link>,
+    /// `adj[from]` lists `(to, index into links)` sorted by `to`.
+    adj: Vec<Vec<(u32, u32)>>,
+}
+
+impl LinkTable {
+    fn index_of(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        let row = self.adj.get(from.0)?;
+        row.binary_search_by_key(&(to.0 as u32), |&(t, _)| t)
+            .ok()
+            .map(|pos| row[pos].1 as usize)
+    }
+
+    /// Registers (or replaces — same semantics as the seed `HashMap::insert`)
+    /// the link from `from` to `to`.
+    fn insert(&mut self, from: NodeId, to: NodeId, link: Link) {
+        if from.0 >= self.adj.len() {
+            self.adj.resize_with(from.0 + 1, Vec::new);
+        }
+        let row = &mut self.adj[from.0];
+        match row.binary_search_by_key(&(to.0 as u32), |&(t, _)| t) {
+            Ok(pos) => self.links[row[pos].1 as usize] = link,
+            Err(pos) => {
+                let idx = u32::try_from(self.links.len()).expect("link table exceeded u32 links");
+                self.links.push(link);
+                row.insert(pos, (to.0 as u32, idx));
+            }
+        }
+    }
+
+    fn get_mut(&mut self, from: NodeId, to: NodeId) -> Option<&mut Link> {
+        let idx = self.index_of(from, to)?;
+        Some(&mut self.links[idx])
+    }
+
+    fn get(&self, from: NodeId, to: NodeId) -> Option<&Link> {
+        self.index_of(from, to).map(|idx| &self.links[idx])
+    }
+}
+
+/// Pending timer cancellations as a bitset over the monotone timer id —
+/// replaces the seed's `HashSet<u64>` (one hash + probe per fired timer)
+/// with a word index and a mask.
+#[derive(Default)]
+struct CancelSet {
+    words: Vec<u64>,
+}
+
+impl CancelSet {
+    fn insert(&mut self, id: u64) {
+        let word = (id / 64) as usize;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1 << (id % 64);
+    }
+
+    /// Tests and clears the bit for `id`; returns whether it was set.
+    fn take(&mut self, id: u64) -> bool {
+        let word = (id / 64) as usize;
+        match self.words.get_mut(word) {
+            Some(w) => {
+                let bit = 1u64 << (id % 64);
+                let was = *w & bit != 0;
+                *w &= !bit;
+                was
+            }
+            None => false,
+        }
+    }
+}
+
 /// The part of the engine visible to nodes through [`Context`]; split from
 /// [`Simulator`] so a node handler can borrow it mutably while the node
-/// itself is checked out of the node table.
+/// itself is checked out of the node slab.
 pub struct SimCore<M> {
     pub(crate) now: Time,
     queue: EventQueue<M>,
-    links: HashMap<(NodeId, NodeId), Link>,
+    links: LinkTable,
     node_rngs: Vec<SmallRng>,
     next_timer: u64,
-    cancelled: HashSet<u64>,
+    cancelled: CancelSet,
     stats: SimStats,
     master_seed: u64,
 }
 
 impl<M: Clone + 'static> SimCore<M> {
-    fn new(master_seed: u64, events_hint: usize) -> Self {
+    fn new(master_seed: u64, kind: QueueKind, events_hint: usize) -> Self {
         SimCore {
             now: Time::ZERO,
-            queue: EventQueue::with_capacity(events_hint),
-            links: HashMap::new(),
+            queue: EventQueue::with_kind(kind, events_hint),
+            links: LinkTable::default(),
             node_rngs: Vec::new(),
             next_timer: 0,
-            cancelled: HashSet::new(),
+            cancelled: CancelSet::default(),
             stats: SimStats::default(),
             master_seed,
         }
@@ -68,7 +150,7 @@ impl<M: Clone + 'static> SimCore<M> {
 
     pub(crate) fn send(&mut self, from: NodeId, to: NodeId, msg: M, size_bytes: usize) {
         let now = self.now;
-        let outcome = match self.links.get_mut(&(from, to)) {
+        let outcome = match self.links.get_mut(from, to) {
             Some(link) => link.offer(now, size_bytes),
             None => {
                 self.stats.no_route += 1;
@@ -122,19 +204,22 @@ impl<M: Clone + 'static> SimCore<M> {
     }
 
     pub(crate) fn has_link(&self, from: NodeId, to: NodeId) -> bool {
-        self.links.contains_key(&(from, to))
+        self.links.index_of(from, to).is_some()
     }
 
     pub(crate) fn nominal_latency(&self, from: NodeId, to: NodeId) -> Option<Dur> {
-        self.links.get(&(from, to)).map(|l| l.nominal_latency())
+        self.links.get(from, to).map(|l| l.nominal_latency())
     }
 }
 
 /// The discrete-event simulator.
 pub struct Simulator<M> {
     core: SimCore<M>,
-    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    nodes: NodeSlab<M>,
     started: Vec<bool>,
+    /// Nodes whose `on_start` has not run yet; lets [`Simulator::step`] skip
+    /// the start scan entirely on the hot path once every node is live.
+    unstarted: usize,
 }
 
 impl<M: Clone + 'static> Simulator<M> {
@@ -144,23 +229,51 @@ impl<M: Clone + 'static> Simulator<M> {
         Simulator::with_capacity(master_seed, 0, 0)
     }
 
+    /// Creates an empty simulator on the given scheduler backend.  Both
+    /// backends process events in the identical deterministic order (a
+    /// test-enforced invariant), so the choice only affects throughput.
+    pub fn with_queue(master_seed: u64, kind: QueueKind) -> Self {
+        Simulator::with_capacity_and_queue(master_seed, kind, 0, 0)
+    }
+
     /// Creates an empty simulator with pre-sized node and event-queue
     /// allocations, so sweep harnesses that build one simulator per grid
     /// point pay a single up-front allocation instead of growing through the
-    /// heap's doubling schedule.  Hints of zero behave like [`Simulator::new`].
+    /// doubling schedule.  Hints of zero behave like [`Simulator::new`].
     pub fn with_capacity(master_seed: u64, nodes_hint: usize, events_hint: usize) -> Self {
+        Simulator::with_capacity_and_queue(
+            master_seed,
+            QueueKind::default(),
+            nodes_hint,
+            events_hint,
+        )
+    }
+
+    /// [`Simulator::with_capacity`] with an explicit scheduler backend.
+    pub fn with_capacity_and_queue(
+        master_seed: u64,
+        kind: QueueKind,
+        nodes_hint: usize,
+        events_hint: usize,
+    ) -> Self {
         Simulator {
-            core: SimCore::new(master_seed, events_hint),
-            nodes: Vec::with_capacity(nodes_hint),
+            core: SimCore::new(master_seed, kind, events_hint),
+            nodes: NodeSlab::with_capacity(nodes_hint),
             started: Vec::with_capacity(nodes_hint),
+            unstarted: 0,
         }
+    }
+
+    /// Which scheduler backend this simulator runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.core.queue.kind()
     }
 
     /// Adds a node and returns its identifier.
     pub fn add_node<N: Node<M>>(&mut self, node: N) -> NodeId {
-        let id = NodeId(self.nodes.len());
-        self.nodes.push(Some(Box::new(node)));
+        let id = self.nodes.insert(Box::new(node));
         self.started.push(false);
+        self.unstarted += 1;
         let seed_stream = id.0 as u64;
         self.core
             .node_rngs
@@ -178,7 +291,7 @@ impl<M: Clone + 'static> Simulator<M> {
         let master = self.core.master_seed;
         self.core
             .links
-            .insert((a, b), spec.build(link_rng(master, a.0 as u64, b.0 as u64)));
+            .insert(a, b, spec.build(link_rng(master, a.0 as u64, b.0 as u64)));
     }
 
     /// Adds a bidirectional link (two independent unidirectional links built
@@ -213,7 +326,7 @@ impl<M: Clone + 'static> Simulator<M> {
 
     /// Per-link counters for the link from `a` to `b`.
     pub fn link_stats(&self, a: NodeId, b: NodeId) -> Option<LinkStats> {
-        self.core.links.get(&(a, b)).map(|l| l.stats())
+        self.core.links.get(a, b).map(|l| l.stats())
     }
 
     /// Number of nodes added so far.
@@ -226,9 +339,8 @@ impl<M: Clone + 'static> Simulator<M> {
     /// # Panics
     /// Panics if the node id is unknown or the type does not match.
     pub fn node_as<T: 'static>(&mut self, id: NodeId) -> &mut T {
-        self.nodes[id.0]
-            .as_mut()
-            .expect("node is currently checked out")
+        self.nodes
+            .get_mut(id)
             .as_any_mut()
             .downcast_mut::<T>()
             .expect("node type mismatch in node_as")
@@ -236,20 +348,25 @@ impl<M: Clone + 'static> Simulator<M> {
 
     /// Calls `on_start` on any node that has not been started yet.
     fn start_pending(&mut self) {
+        if self.unstarted == 0 {
+            return;
+        }
         for idx in 0..self.nodes.len() {
             if self.started[idx] {
                 continue;
             }
             self.started[idx] = true;
-            let mut node = self.nodes[idx].take().expect("node missing at start");
+            self.unstarted -= 1;
+            let id = NodeId(idx);
+            let mut node = self.nodes.checkout(id);
             {
                 let mut ctx = Context {
                     core: &mut self.core,
-                    node: NodeId(idx),
+                    node: id,
                 };
                 node.on_start(&mut ctx);
             }
-            self.nodes[idx] = Some(node);
+            self.nodes.checkin(id, node);
         }
     }
 
@@ -265,11 +382,11 @@ impl<M: Clone + 'static> Simulator<M> {
         self.core.stats.events_processed += 1;
         match event.kind {
             EventKind::Deliver { to, from, msg } => {
-                if to.0 >= self.nodes.len() {
+                if !self.nodes.contains(to) {
                     return true;
                 }
                 self.core.stats.messages_delivered += 1;
-                let mut node = self.nodes[to.0].take().expect("node missing at delivery");
+                let mut node = self.nodes.checkout(to);
                 {
                     let mut ctx = Context {
                         core: &mut self.core,
@@ -277,21 +394,21 @@ impl<M: Clone + 'static> Simulator<M> {
                     };
                     node.on_message(&mut ctx, from, msg);
                 }
-                self.nodes[to.0] = Some(node);
+                self.nodes.checkin(to, node);
             }
             EventKind::Timer {
                 node: nid,
                 timer,
                 tag,
             } => {
-                if self.core.cancelled.remove(&timer.0) {
+                if self.core.cancelled.take(timer.0) {
                     return true;
                 }
-                if nid.0 >= self.nodes.len() {
+                if !self.nodes.contains(nid) {
                     return true;
                 }
                 self.core.stats.timers_fired += 1;
-                let mut node = self.nodes[nid.0].take().expect("node missing at timer");
+                let mut node = self.nodes.checkout(nid);
                 {
                     let mut ctx = Context {
                         core: &mut self.core,
@@ -299,7 +416,7 @@ impl<M: Clone + 'static> Simulator<M> {
                     };
                     node.on_timer(&mut ctx, timer, tag);
                 }
-                self.nodes[nid.0] = Some(node);
+                self.nodes.checkin(nid, node);
             }
         }
         true
@@ -538,6 +655,27 @@ mod tests {
     }
 
     #[test]
+    fn heap_and_calendar_backends_produce_identical_runs() {
+        let run = |kind: QueueKind| {
+            let mut sim = Simulator::with_queue(33, kind);
+            let server = sim.add_node(Echo);
+            let client = sim.add_node(Client {
+                server,
+                to_send: 400,
+                pongs: vec![],
+            });
+            sim.add_link(
+                client,
+                server,
+                LinkSpec::symmetric(Dur::from_millis(10)).loss(LossSpec::Bernoulli(0.25)),
+            );
+            sim.run_for(Dur::from_secs(2));
+            (sim.node_as::<Client>(client).pongs.clone(), sim.stats())
+        };
+        assert_eq!(run(QueueKind::Heap), run(QueueKind::Calendar));
+    }
+
+    #[test]
     fn loss_on_one_link_does_not_perturb_another() {
         // Two independent client/server pairs.  The pongs observed by pair A
         // must be identical whether or not pair B exists and sends traffic —
@@ -578,8 +716,13 @@ mod tests {
         use super::*;
         use proptest::prelude::*;
 
-        fn lossy_run(seed: u64, loss_millis: u64, to_send: u32) -> (Vec<(u32, Time)>, SimStats) {
-            let mut sim = Simulator::new(seed);
+        fn lossy_run(
+            kind: QueueKind,
+            seed: u64,
+            loss_millis: u64,
+            to_send: u32,
+        ) -> (Vec<(u32, Time)>, SimStats) {
+            let mut sim = Simulator::with_queue(seed, kind);
             let server = sim.add_node(Echo);
             let client = sim.add_node(Client {
                 server,
@@ -609,8 +752,22 @@ mod tests {
                 to_send in 1u32..200,
             ) {
                 prop_assert_eq!(
-                    lossy_run(seed, loss_millis, to_send),
-                    lossy_run(seed, loss_millis, to_send)
+                    lossy_run(QueueKind::Calendar, seed, loss_millis, to_send),
+                    lossy_run(QueueKind::Calendar, seed, loss_millis, to_send)
+                );
+            }
+
+            /// The two scheduler backends are observationally identical for
+            /// whole simulations, not just for raw pop order.
+            #[test]
+            fn prop_backends_replay_identically(
+                seed: u64,
+                loss_millis in 0u64..1000,
+                to_send in 1u32..200,
+            ) {
+                prop_assert_eq!(
+                    lossy_run(QueueKind::Heap, seed, loss_millis, to_send),
+                    lossy_run(QueueKind::Calendar, seed, loss_millis, to_send)
                 );
             }
 
@@ -623,7 +780,7 @@ mod tests {
                 loss_millis in 0u64..1000,
                 to_send in 1u32..200,
             ) {
-                let (pongs, stats) = lossy_run(seed, loss_millis, to_send);
+                let (pongs, stats) = lossy_run(QueueKind::Calendar, seed, loss_millis, to_send);
                 // Sent = delivered (queue drains fully within the horizon).
                 prop_assert_eq!(stats.messages_sent, stats.messages_delivered);
                 // Offered = pings from the client plus one pong per ping that
@@ -643,7 +800,7 @@ mod tests {
             /// link latency granularity.
             #[test]
             fn prop_delivery_times_are_monotone(seed: u64, to_send in 1u32..100) {
-                let (pongs, _) = lossy_run(seed, 100, to_send);
+                let (pongs, _) = lossy_run(QueueKind::Calendar, seed, 100, to_send);
                 for w in pongs.windows(2) {
                     prop_assert!(w[1].1 >= w[0].1, "pong times must be non-decreasing");
                 }

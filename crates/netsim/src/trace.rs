@@ -6,6 +6,14 @@
 //! number, whether a packet arrived and when; [`episodes`] extracts loss
 //! episodes; and [`EpisodeBreakdown`] reports each class's contribution to
 //! the overall loss rate (Figure 8(b)).
+//!
+//! Recording is copy-free on the hot path: sequence numbers of a flow are
+//! dense, so the trace keeps one flat `Vec` of per-sequence slots addressed
+//! by `seq - base` (a bounds check and an index — no tree rebalancing or
+//! per-record allocation, and `clear` recycles the buffer).  Sequence
+//! numbers far outside the dense window — possible for synthetic traces fed
+//! through the public API — fall back to a spill map that is merged back
+//! into the window whenever it grows to cover them.
 
 use std::collections::BTreeMap;
 
@@ -44,11 +52,35 @@ pub struct LossEpisode {
     pub kind: EpisodeKind,
 }
 
+/// Per-sequence record: first send time and first delivery time, if any.
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    sent: Option<Time>,
+    delivered: Option<Time>,
+}
+
+impl Slot {
+    fn is_empty(&self) -> bool {
+        self.sent.is_none() && self.delivered.is_none()
+    }
+}
+
+/// How far past the current dense window a new sequence number may land and
+/// still grow the window (rather than spill).  Bounds the memory a single
+/// out-of-range record can commit the trace to.
+const GROW_SLACK: usize = 1024;
+
 /// A per-flow record of which sequence numbers were sent and which arrived.
 #[derive(Clone, Debug, Default)]
 pub struct DeliveryTrace {
-    sent: BTreeMap<u64, Time>,
-    delivered: BTreeMap<u64, Time>,
+    /// Sequence number of `slots[0]`; `None` until the first record.
+    base: Option<u64>,
+    /// Dense window of per-sequence slots, addressed by `seq - base`.
+    slots: Vec<Slot>,
+    /// Records outside the dense window (always disjoint from it).
+    spill: BTreeMap<u64, Slot>,
+    sent: usize,
+    delivered: usize,
 }
 
 impl DeliveryTrace {
@@ -60,81 +92,158 @@ impl DeliveryTrace {
     /// Empties the trace so the buffers can be recycled for the next flow or
     /// sweep point instead of re-allocating.
     pub fn clear(&mut self) {
-        self.sent.clear();
-        self.delivered.clear();
+        self.base = None;
+        self.slots.clear();
+        self.spill.clear();
+        self.sent = 0;
+        self.delivered = 0;
+    }
+
+    /// The slot for `seq`, creating it in the dense window when it is in (or
+    /// within [`GROW_SLACK`] past) the window, in the spill map otherwise.
+    fn slot_mut(&mut self, seq: u64) -> &mut Slot {
+        let base = match self.base {
+            None => {
+                self.base = Some(seq);
+                self.slots.push(Slot::default());
+                return &mut self.slots[0];
+            }
+            Some(base) => base,
+        };
+        if seq < base {
+            return self.spill.entry(seq).or_default();
+        }
+        let idx = (seq - base) as usize;
+        if idx >= self.slots.len() {
+            if idx >= self.slots.len() + GROW_SLACK {
+                return self.spill.entry(seq).or_default();
+            }
+            self.slots.resize(idx + 1, Slot::default());
+            // The window now covers sequence numbers that may have spilled
+            // earlier; fold them back so the two stores stay disjoint.
+            if !self.spill.is_empty() {
+                let end = base + self.slots.len() as u64;
+                let slots = &mut self.slots;
+                self.spill.retain(|&k, v| {
+                    let inside = (base..end).contains(&k);
+                    if inside {
+                        slots[(k - base) as usize] = *v;
+                    }
+                    !inside
+                });
+            }
+        }
+        &mut self.slots[idx]
+    }
+
+    /// The slot for `seq`, if any record exists.
+    fn slot(&self, seq: u64) -> Option<Slot> {
+        let base = self.base?;
+        if seq >= base {
+            let idx = (seq - base) as usize;
+            if idx < self.slots.len() {
+                return Some(self.slots[idx]);
+            }
+        }
+        self.spill.get(&seq).copied()
+    }
+
+    /// All non-empty records in ascending sequence order.  Spill keys are
+    /// disjoint from the dense window and sit strictly below `base` or at
+    /// or above its end, so a three-way chain is already sorted.
+    fn iter(&self) -> impl Iterator<Item = (u64, Slot)> + '_ {
+        let base = self.base.unwrap_or(0);
+        let end = base + self.slots.len() as u64;
+        let low = self.spill.range(..base).map(|(&k, &v)| (k, v));
+        let dense = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(move |(i, &s)| (base + i as u64, s));
+        let high = self.spill.range(end..).map(|(&k, &v)| (k, v));
+        low.chain(dense).chain(high)
     }
 
     /// Records that sequence number `seq` was sent at `at`.
     pub fn record_sent(&mut self, seq: u64, at: Time) {
-        self.sent.entry(seq).or_insert(at);
+        let slot = self.slot_mut(seq);
+        if slot.sent.is_none() {
+            slot.sent = Some(at);
+            self.sent += 1;
+        }
     }
 
     /// Records that sequence number `seq` arrived at `at` (first arrival wins).
     pub fn record_delivered(&mut self, seq: u64, at: Time) {
-        self.delivered.entry(seq).or_insert(at);
+        let slot = self.slot_mut(seq);
+        if slot.delivered.is_none() {
+            slot.delivered = Some(at);
+            self.delivered += 1;
+        }
     }
 
     /// Number of distinct sequence numbers sent.
     pub fn sent_count(&self) -> usize {
-        self.sent.len()
+        self.sent
     }
 
     /// Number of distinct sequence numbers delivered.
     pub fn delivered_count(&self) -> usize {
-        self.delivered.len()
+        self.delivered
     }
 
     /// Number of sent-but-never-delivered packets.
     pub fn lost_count(&self) -> usize {
-        self.sent
-            .keys()
-            .filter(|s| !self.delivered.contains_key(s))
+        self.iter()
+            .filter(|(_, s)| s.sent.is_some() && s.delivered.is_none())
             .count()
     }
 
     /// Overall loss rate.
     pub fn loss_rate(&self) -> f64 {
-        if self.sent.is_empty() {
+        if self.sent == 0 {
             0.0
         } else {
-            self.lost_count() as f64 / self.sent.len() as f64
+            self.lost_count() as f64 / self.sent as f64
         }
     }
 
     /// One-way latency samples (delivered time minus send time), in
     /// milliseconds, for all delivered packets.
     pub fn latencies_ms(&self) -> Vec<f64> {
-        self.delivered
-            .iter()
-            .filter_map(|(seq, d)| {
-                self.sent
-                    .get(seq)
-                    .map(|s| d.saturating_since(*s).as_millis_f64())
+        self.iter()
+            .filter_map(|(_, s)| {
+                let d = s.delivered?;
+                let sent = s.sent?;
+                Some(d.saturating_since(sent).as_millis_f64())
             })
             .collect()
     }
 
     /// Whether a given sequence number was delivered.
     pub fn was_delivered(&self, seq: u64) -> bool {
-        self.delivered.contains_key(&seq)
+        self.slot(seq)
+            .map(|s| s.delivered.is_some())
+            .unwrap_or(false)
     }
 
     /// Send time of a sequence number, if recorded.
     pub fn sent_at(&self, seq: u64) -> Option<Time> {
-        self.sent.get(&seq).copied()
+        self.slot(seq)?.sent
     }
 
     /// Delivery time of a sequence number, if it arrived.
     pub fn delivered_at(&self, seq: u64) -> Option<Time> {
-        self.delivered.get(&seq).copied()
+        self.slot(seq)?.delivered
     }
 
     /// Extracts maximal runs of consecutive lost sequence numbers.
     pub fn episodes(&self) -> Vec<LossEpisode> {
         episodes(
-            self.sent
-                .keys()
-                .map(|&s| (s, self.delivered.contains_key(&s))),
+            self.iter()
+                .filter(|(_, s)| s.sent.is_some())
+                .map(|(seq, s)| (seq, s.delivered.is_some())),
         )
     }
 
@@ -349,5 +458,50 @@ mod tests {
         t.record_delivered(1, Time::from_millis(99));
         assert_eq!(t.delivered_at(1), Some(Time::from_millis(50)));
         assert_eq!(t.delivered_count(), 1);
+    }
+
+    #[test]
+    fn sparse_and_out_of_order_sequences_spill_and_merge_back() {
+        let mut t = DeliveryTrace::new();
+        // Establish a window at 100, then record far ahead (spills), far
+        // behind (spills below base), and finally grow the window over one of
+        // the spilled keys.
+        t.record_sent(100, Time::from_millis(0));
+        t.record_sent(1_000_000, Time::from_millis(1));
+        t.record_sent(5, Time::from_millis(2));
+        t.record_delivered(5, Time::from_millis(9));
+        for seq in 101..=1_100 {
+            t.record_sent(seq, Time::from_millis(3));
+        }
+        assert_eq!(t.sent_count(), 1_003);
+        assert_eq!(t.delivered_count(), 1);
+        assert_eq!(t.sent_at(1_000_000), Some(Time::from_millis(1)));
+        assert_eq!(t.delivered_at(5), Some(Time::from_millis(9)));
+        assert!(t.was_delivered(5));
+        assert!(!t.was_delivered(100));
+        // Ascending merged order: 5, 100..=1100, 1_000_000 — the episode scan
+        // sees three non-contiguous groups.
+        let eps = t.episodes();
+        assert_eq!(eps.first().map(|e| e.first_seq), Some(100));
+        assert_eq!(eps.last().map(|e| e.first_seq), Some(1_000_000));
+        assert_eq!(t.lost_count(), 1_002);
+    }
+
+    #[test]
+    fn clear_recycles_the_dense_window() {
+        let mut t = DeliveryTrace::new();
+        for seq in 0..500u64 {
+            t.record_sent(seq, Time::from_millis(seq));
+        }
+        let cap = {
+            t.clear();
+            t.slots.capacity()
+        };
+        assert!(cap >= 500, "clear must keep the window allocation");
+        assert_eq!(t.sent_count(), 0);
+        // The recycled trace re-anchors its window at the new first sequence.
+        t.record_sent(40, Time::from_millis(1));
+        assert_eq!(t.sent_at(40), Some(Time::from_millis(1)));
+        assert_eq!(t.sent_count(), 1);
     }
 }

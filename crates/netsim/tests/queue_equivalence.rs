@@ -1,0 +1,199 @@
+//! Replay-equivalence wall for the scheduler backends.
+//!
+//! The calendar queue is only admissible because it pops in *exactly* the
+//! reference heap's `(time, sequence)` order — including duplicate
+//! timestamps, which must come out FIFO.  These property tests drive both
+//! backends through random insert/pop interleavings and demand identical
+//! output sequences, and cover the `recycle`/`with_capacity` reuse path the
+//! sweep harness depends on.
+
+use netsim::event::{EventKind, EventQueue};
+use netsim::prelude::*;
+use proptest::prelude::*;
+
+/// One step of a random workload: push an event at a (possibly duplicate)
+/// timestamp, or pop the earliest pending event.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Push a timer event at `Time::ZERO + micros`.
+    Push { micros: u64 },
+    /// Pop one event (no-op on an empty queue).
+    Pop,
+}
+
+fn op_strategy(max_micros: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Biased towards pushes so queues actually grow; coarse timestamp
+        // granularity forces plenty of exact ties.
+        3 => (0..max_micros).prop_map(|raw| Op::Push {
+            micros: (raw / 7) * 7
+        }),
+        2 => Just(Op::Pop),
+    ]
+}
+
+/// Runs `ops` against a fresh queue of the given kind, tagging each pushed
+/// event with its push index so pops can be traced back to exact events.
+/// Returns the `(at, seq, tag)` sequence of every successful pop, with the
+/// final drain appended.
+fn run_ops(kind: QueueKind, ops: &[Op]) -> Vec<(Time, u64, u64)> {
+    let mut queue: EventQueue<()> = EventQueue::with_kind(kind, 16);
+    let mut popped = Vec::new();
+    let mut tag = 0u64;
+    for op in ops {
+        match *op {
+            Op::Push { micros } => {
+                queue.push(
+                    Time::ZERO + Dur::from_micros(micros),
+                    EventKind::Timer {
+                        node: NodeId(0),
+                        timer: TimerId(tag),
+                        tag,
+                    },
+                );
+                tag += 1;
+            }
+            Op::Pop => {
+                if let Some(event) = queue.pop() {
+                    popped.push(describe(event.at, event.seq, event.kind));
+                }
+            }
+        }
+    }
+    while let Some(event) = queue.pop() {
+        popped.push(describe(event.at, event.seq, event.kind));
+    }
+    assert!(queue.is_empty());
+    popped
+}
+
+fn describe(at: Time, seq: u64, kind: EventKind<()>) -> (Time, u64, u64) {
+    match kind {
+        EventKind::Timer { tag, .. } => (at, seq, tag),
+        EventKind::Deliver { .. } => unreachable!("workload pushes timers only"),
+    }
+}
+
+proptest! {
+    /// Random interleavings with heavy timestamp duplication: the calendar
+    /// queue must reproduce the reference heap's pop sequence exactly, and
+    /// both must be totally ordered by `(at, seq)`.
+    #[test]
+    fn calendar_matches_reference_heap(
+        ops in proptest::collection::vec(op_strategy(5_000), 1..400)
+    ) {
+        let heap = run_ops(QueueKind::Heap, &ops);
+        let calendar = run_ops(QueueKind::Calendar, &ops);
+        prop_assert_eq!(&heap, &calendar);
+        // Interleaved pushes can legally pop an early timestamp after a
+        // later one (it was not pending yet), but equal timestamps must
+        // always come out FIFO — a later pop of the same `at` carries a
+        // strictly larger sequence number.
+        let mut last_seq_at: std::collections::HashMap<Time, u64> =
+            std::collections::HashMap::new();
+        for &(at, seq, _) in &heap {
+            if let Some(&prev) = last_seq_at.get(&at) {
+                prop_assert!(prev < seq, "FIFO violated for ties at {at:?}");
+            }
+            last_seq_at.insert(at, seq);
+        }
+    }
+
+    /// Far-future timestamps overflow the calendar's bucket horizon and
+    /// near-past ones land behind its cursor; both detours must still pop in
+    /// exact heap order.
+    #[test]
+    fn calendar_matches_heap_across_horizon(
+        ops in proptest::collection::vec(op_strategy(10_000_000_000), 1..200)
+    ) {
+        prop_assert_eq!(
+            run_ops(QueueKind::Heap, &ops),
+            run_ops(QueueKind::Calendar, &ops)
+        );
+    }
+
+    /// `recycle()` must behave exactly like a fresh queue: same pop order,
+    /// sequence numbering restarted from zero, storage retained.
+    #[test]
+    fn recycled_queue_replays_like_fresh(
+        first in proptest::collection::vec(op_strategy(50_000), 1..150),
+        second in proptest::collection::vec(op_strategy(50_000), 1..150),
+    ) {
+        for kind in [QueueKind::Heap, QueueKind::Calendar] {
+            let fresh = run_ops(kind, &second);
+
+            let mut queue: EventQueue<()> = EventQueue::with_kind(kind, 16);
+            for op in &first {
+                match *op {
+                    Op::Push { micros } => queue.push(
+                        Time::ZERO + Dur::from_micros(micros),
+                        EventKind::Timer { node: NodeId(0), timer: TimerId(0), tag: 0 },
+                    ),
+                    Op::Pop => {
+                        queue.pop();
+                    }
+                }
+            }
+            let capacity = queue.capacity();
+            queue.recycle();
+            prop_assert!(queue.is_empty(), "recycle must drop pending events");
+            prop_assert_eq!(
+                queue.capacity(), capacity,
+                "recycle must keep the allocation"
+            );
+
+            // Replay the second workload on the recycled queue by hand and
+            // compare against the fresh-queue run (including seq values,
+            // which prove numbering restarted at zero).
+            let mut popped = Vec::new();
+            let mut tag = 0u64;
+            for op in &second {
+                match *op {
+                    Op::Push { micros } => {
+                        queue.push(
+                            Time::ZERO + Dur::from_micros(micros),
+                            EventKind::Timer { node: NodeId(0), timer: TimerId(tag), tag },
+                        );
+                        tag += 1;
+                    }
+                    Op::Pop => {
+                        if let Some(event) = queue.pop() {
+                            popped.push(describe(event.at, event.seq, event.kind));
+                        }
+                    }
+                }
+            }
+            while let Some(event) = queue.pop() {
+                popped.push(describe(event.at, event.seq, event.kind));
+            }
+            prop_assert_eq!(popped, fresh);
+        }
+    }
+}
+
+/// `with_capacity` pre-sizes the backing storage so the first `capacity`
+/// pushes never reallocate, on both backends.
+#[test]
+fn with_capacity_presizes_storage() {
+    for kind in [QueueKind::Heap, QueueKind::Calendar] {
+        let mut queue: EventQueue<u64> = EventQueue::with_kind(kind, 1024);
+        let initial = queue.capacity();
+        assert!(initial >= 1024, "{kind:?}: capacity {initial}");
+        for i in 0..1024u64 {
+            queue.push(
+                Time::ZERO + Dur::from_micros(i % 97),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    timer: TimerId(i),
+                    tag: i,
+                },
+            );
+        }
+        assert_eq!(
+            queue.capacity(),
+            initial,
+            "{kind:?}: pushing within capacity must not reallocate"
+        );
+        assert_eq!(queue.len(), 1024);
+    }
+}

@@ -4,7 +4,10 @@
 use jqos::core::coding::params::CodingParams;
 use jqos::core::nodes::receiver::DeliveryMethod;
 use jqos::prelude::*;
+use jqos_bench::stress::{run_stress, run_stress_on_seed_engine, StressConfig};
 use measurements::planetlab::planetlab_paths;
+use netsim::prelude::QueueKind;
+use proptest::prelude::*;
 use workloads::cbr::OnOffCbrSource;
 use workloads::video::{VideoConfig, VideoSource};
 
@@ -208,6 +211,81 @@ fn experiment_suite_is_byte_identical_across_thread_counts() {
     assert_eq!(serial.point_wall_ms.len(), 8);
     assert!(serial.total_wall_ms > 0.0);
     assert!(serial.busy_ms() > 0.0);
+}
+
+/// The stress topology's replay guarantee, end to end: one master seed must
+/// produce the identical `StressReport` with intra-point parallelism off and
+/// on, on both scheduler backends of the reworked engine, and on the
+/// vendored replica of the seed engine.  The digest is pinned as a golden
+/// value — it only uses integer counters (constant delays, integer-permille
+/// Bernoulli loss), so it is stable across platforms; a change here means
+/// the simulation semantics changed, not just the scheduler.
+#[test]
+fn stress_topology_replays_identically_across_engines_and_threads() {
+    const MASTER_SEED: u64 = 0x4A51_6F53_5354_5253; // matches sweep_stress
+    let calendar = StressConfig::quick();
+    let heap = calendar.with_queue(QueueKind::Heap);
+
+    let serial = run_stress(&calendar, MASTER_SEED, 1);
+    assert_eq!(
+        serial,
+        run_stress(&calendar, MASTER_SEED, 4),
+        "intra-point parallelism must not change the report"
+    );
+    assert_eq!(
+        serial,
+        run_stress(&heap, MASTER_SEED, 1),
+        "old (heap) and new (calendar) queues must replay identically"
+    );
+    assert_eq!(
+        serial,
+        run_stress_on_seed_engine(&calendar, MASTER_SEED),
+        "the pre-rework engine must replay identically"
+    );
+    assert_eq!(serial.digest, 0x95be_bfbf_c42f_73d8, "golden stress digest");
+}
+
+/// `Scenario` runs — the full J-QoS pipeline, not just raw netsim — are also
+/// byte-identical across the old and new scheduler backends.
+#[test]
+fn scenario_reports_are_identical_across_queue_backends() {
+    let run = |queue: QueueKind| {
+        Scenario::new(909)
+            .with_queue(queue)
+            .with_topology(Topology::wide_area(LossSpec::bursty(0.02, 3.0)))
+            .with_coding(CodingParams::planetlab_defaults())
+            .add_flow(
+                ServiceKind::Coding,
+                Box::new(CbrSource::new(Dur::from_millis(20), 512, 400)),
+            )
+            .add_flow(
+                ServiceKind::Caching,
+                Box::new(OnOffCbrSource::scaled(200, 1)),
+            )
+            .run(Dur::from_secs(10))
+    };
+    assert_eq!(run(QueueKind::Heap), run(QueueKind::Calendar));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Message conservation at stress scale, for arbitrary master seeds: a
+    /// drained run delivers exactly what the links accepted, every loss is
+    /// accounted, and the thread count never changes the outcome.
+    #[test]
+    fn stress_conserves_messages_for_any_seed(master_seed in 0u64..(1 << 48)) {
+        let cfg = StressConfig::quick();
+        let report = run_stress(&cfg, master_seed, 1);
+        prop_assert_eq!(
+            report.messages_sent, report.messages_delivered,
+            "a drained queue conserves accepted messages"
+        );
+        prop_assert!(report.messages_dropped_loss > 0, "loss models must engage");
+        prop_assert!(report.events_processed > 0);
+        let parallel = run_stress(&cfg, master_seed, 3);
+        prop_assert_eq!(report, parallel);
+    }
 }
 
 /// Selective duplication sends far fewer bytes to the cloud while still

@@ -4,8 +4,9 @@
 //! stand-in keeps the part that matters for an offline CI gate — running
 //! each property over many seeded random inputs — behind the same surface
 //! syntax: the [`proptest!`] macro with `x in strategy` and `x: Type`
-//! parameter forms, [`ProptestConfig::with_cases`], `prop_assert*!` and
-//! `proptest::collection::vec`.  Inputs are drawn from a fixed-seed
+//! parameter forms, [`ProptestConfig::with_cases`], `prop_assert*!`,
+//! `proptest::collection::vec`, [`Just`], [`Strategy::prop_map`] and the
+//! weighted [`prop_oneof!`] union.  Inputs are drawn from a fixed-seed
 //! generator, so failures reproduce deterministically (rerun the test to
 //! replay them; there is no shrinking).
 
@@ -41,6 +42,70 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// One boxed generator arm of a [`OneOf`] union.
+pub type OneOfArm<V> = Box<dyn Fn(&mut SmallRng) -> V>;
+
+/// Weighted union of same-valued strategies; built by [`prop_oneof!`].
+pub struct OneOf<V> {
+    arms: Vec<(u32, OneOfArm<V>)>,
+    total: u64,
+}
+
+impl<V> OneOf<V> {
+    /// A union of `(weight, generator)` arms; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, OneOfArm<V>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut SmallRng) -> V {
+        let mut pick = rand::Rng::gen_range(rng, 0..self.total);
+        for (weight, arm) in &self.arms {
+            if pick < *weight as u64 {
+                return arm(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -141,7 +206,8 @@ pub mod prelude {
     //! Everything a `proptest!` test module needs.
 
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -162,6 +228,27 @@ macro_rules! prop_assert_eq {
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted union of strategies producing the same value type:
+/// `prop_oneof![3 => a, 2 => b]` picks `a` with probability 3/5.  Arms
+/// without weights (`prop_oneof![a, b]`) are equally likely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$({
+            let strat = $strat;
+            (
+                $weight as u32,
+                Box::new(move |rng: &mut $crate::__rand::rngs::SmallRng| {
+                    $crate::Strategy::generate(&strat, rng)
+                }) as Box<dyn Fn(&mut $crate::__rand::rngs::SmallRng) -> _>,
+            )
+        }),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
 }
 
 /// Declares property tests: each `fn` runs `config.cases` times over
