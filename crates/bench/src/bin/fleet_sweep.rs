@@ -1,0 +1,7 @@
+//! Dedicated binary for the fleet failover sweep — equivalent to
+//! `jqos sweep --fig fleet`, writing `BENCH_sweep_fleet.json`.
+//! `JQOS_QUICK=1` shrinks the grid for CI smoke runs.
+
+fn main() {
+    jqos_bench::figures::fleet::run(jqos_core::default_threads());
+}

@@ -12,17 +12,19 @@
 //! | `10`        | [`fig10`] — encoder thread scaling               |
 //! | `65`        | [`sec65`] — mobile feasibility                   |
 //! | `66`        | [`sec66`] — deployment cost + coding overhead    |
+//! | `fleet`     | [`fleet`] — DC-fleet failover control plane      |
 
 pub mod fig10;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9a;
 pub mod fig9b;
+pub mod fleet;
 pub mod sec65;
 pub mod sec66;
 
 /// The figure ids `run_figure` accepts.
-pub const FIGURE_IDS: [&str; 7] = ["7", "8", "9a", "9b", "10", "65", "66"];
+pub const FIGURE_IDS: [&str; 8] = ["7", "8", "9a", "9b", "10", "65", "66", "fleet"];
 
 /// Runs the suite behind one figure id on `threads` sweep workers.  Returns
 /// `false` for an unknown id.
@@ -39,6 +41,7 @@ pub fn run_figure(fig: &str, threads: usize) -> bool {
         "10" => fig10::run(threads),
         "65" | "6.5" => sec65::run(threads),
         "66" | "6.6" => sec66::run(threads),
+        "fleet" => fleet::run(threads),
         _ => return false,
     }
     true

@@ -191,6 +191,19 @@ pub fn run_suite<R>(suite: &ExperimentSuite<R>, threads: usize) -> SuiteReport
 where
     R: Fn(&SweepPoint) -> PointStats + Sync,
 {
+    run_suite_with_timing(suite, threads).0
+}
+
+/// [`run_suite`], also returning the timing summary it recorded — for suites
+/// that embed the timing (baseline-replay fields included) in a larger
+/// aggregate document instead of keeping the bare timing file.
+pub fn run_suite_with_timing<R>(
+    suite: &ExperimentSuite<R>,
+    threads: usize,
+) -> (SuiteReport, SweepTiming)
+where
+    R: Fn(&SweepPoint) -> PointStats + Sync,
+{
     let out = suite.run(threads);
     out.print_timing_summary();
     let mut timing = sweep_timing(&out);
@@ -225,7 +238,7 @@ where
         );
     }
     write_sweep_timing(&timing);
-    out
+    (out, timing)
 }
 
 #[cfg(test)]

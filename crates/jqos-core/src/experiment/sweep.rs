@@ -28,6 +28,7 @@ use netsim::stats::{PointStats, SweepReport};
 use rand::rngs::SmallRng;
 
 use crate::coding::params::CodingParams;
+use crate::fleet::FleetAxis;
 use crate::select::ServiceKind;
 
 /// One entry of a labelled axis.
@@ -45,7 +46,8 @@ fn axis<T>(entries: Vec<(String, T)>) -> Vec<AxisEntry<T>> {
 }
 
 /// A declarative grid of scenario points: the cartesian product of a seed
-/// axis, a loss-model axis, a service-mix axis, a coding-parameter axis and a
+/// axis, a loss-model axis, a service-mix axis, a coding-parameter axis, a
+/// fleet axis (DC count, placement strategy, failure schedule) and a
 /// figure-specific free `variant` axis.
 ///
 /// Axes left untouched contribute a single neutral (unlabelled) entry, so a
@@ -72,6 +74,7 @@ pub struct SweepGrid {
     loss: Vec<AxisEntry<LossSpec>>,
     mixes: Vec<AxisEntry<Vec<ServiceKind>>>,
     coding: Vec<AxisEntry<CodingParams>>,
+    fleet: Vec<AxisEntry<FleetAxis>>,
     variants: Vec<AxisEntry<u64>>,
 }
 
@@ -82,13 +85,14 @@ impl Default for SweepGrid {
 }
 
 impl SweepGrid {
-    /// A 1×1×1×1×1 grid (one point, all axes neutral).
+    /// A 1×1×1×1×1×1 grid (one point, all axes neutral).
     pub fn new() -> Self {
         SweepGrid {
             seeds: vec![0],
             loss: axis(vec![(String::new(), LossSpec::None)]),
             mixes: axis(vec![(String::new(), Vec::new())]),
             coding: axis(vec![(String::new(), CodingParams::default())]),
+            fleet: axis(vec![(String::new(), FleetAxis::default())]),
             variants: axis(vec![(String::new(), 0)]),
         }
     }
@@ -127,6 +131,14 @@ impl SweepGrid {
         self
     }
 
+    /// Replaces the fleet axis (DC fleet size/capacity, placement strategy
+    /// and failure schedule of fleet scenarios).
+    pub fn fleet_configs(mut self, entries: Vec<(impl Into<String>, FleetAxis)>) -> Self {
+        assert!(!entries.is_empty(), "fleet axis must not be empty");
+        self.fleet = axis(entries.into_iter().map(|(l, v)| (l.into(), v)).collect());
+        self
+    }
+
     /// Replaces the free variant axis (figure-specific: a path index, an
     /// engine thread count, a configuration id, ...).
     pub fn variants(mut self, entries: Vec<(impl Into<String>, u64)>) -> Self {
@@ -141,6 +153,7 @@ impl SweepGrid {
             * self.loss.len()
             * self.mixes.len()
             * self.coding.len()
+            * self.fleet.len()
             * self.variants.len()
     }
 
@@ -154,28 +167,33 @@ impl SweepGrid {
     fn points(&self, master_seed: u64) -> Vec<SweepPoint> {
         let mut out = Vec::with_capacity(self.len());
         for (variant_idx, variant) in self.variants.iter().enumerate() {
-            for (coding_idx, coding) in self.coding.iter().enumerate() {
-                for (mix_idx, mix) in self.mixes.iter().enumerate() {
-                    for (loss_idx, loss) in self.loss.iter().enumerate() {
-                        for (seed_idx, &seed) in self.seeds.iter().enumerate() {
-                            out.push(SweepPoint {
-                                index: out.len(),
-                                master_seed,
-                                seed,
-                                seed_idx,
-                                loss: loss.value.clone(),
-                                loss_label: loss.label.clone(),
-                                loss_idx,
-                                mix: mix.value.clone(),
-                                mix_label: mix.label.clone(),
-                                mix_idx,
-                                coding: coding.value,
-                                coding_label: coding.label.clone(),
-                                coding_idx,
-                                variant: variant.value,
-                                variant_label: variant.label.clone(),
-                                variant_idx,
-                            });
+            for (fleet_idx, fleet) in self.fleet.iter().enumerate() {
+                for (coding_idx, coding) in self.coding.iter().enumerate() {
+                    for (mix_idx, mix) in self.mixes.iter().enumerate() {
+                        for (loss_idx, loss) in self.loss.iter().enumerate() {
+                            for (seed_idx, &seed) in self.seeds.iter().enumerate() {
+                                out.push(SweepPoint {
+                                    index: out.len(),
+                                    master_seed,
+                                    seed,
+                                    seed_idx,
+                                    loss: loss.value.clone(),
+                                    loss_label: loss.label.clone(),
+                                    loss_idx,
+                                    mix: mix.value.clone(),
+                                    mix_label: mix.label.clone(),
+                                    mix_idx,
+                                    coding: coding.value,
+                                    coding_label: coding.label.clone(),
+                                    coding_idx,
+                                    fleet: fleet.value.clone(),
+                                    fleet_label: fleet.label.clone(),
+                                    fleet_idx,
+                                    variant: variant.value,
+                                    variant_label: variant.label.clone(),
+                                    variant_idx,
+                                });
+                            }
                         }
                     }
                 }
@@ -214,6 +232,12 @@ pub struct SweepPoint {
     pub coding_label: String,
     /// Index into the coding axis.
     pub coding_idx: usize,
+    /// Fleet axis value (DC fleet, placement strategy, failure schedule).
+    pub fleet: FleetAxis,
+    /// Fleet axis label.
+    pub fleet_label: String,
+    /// Index into the fleet axis.
+    pub fleet_idx: usize,
     /// Free-axis value.
     pub variant: u64,
     /// Free-axis label.
@@ -256,6 +280,7 @@ impl SweepPoint {
         let mut parts: Vec<String> = Vec::new();
         for axis_label in [
             &self.variant_label,
+            &self.fleet_label,
             &self.coding_label,
             &self.mix_label,
             &self.loss_label,
@@ -575,6 +600,35 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 12);
+    }
+
+    #[test]
+    fn fleet_axis_multiplies_the_grid_between_variants_and_coding() {
+        use crate::fleet::{DcId, FailureSchedule, FleetAxis, PlacementStrategy};
+        use netsim::Time;
+        let grid = demo_grid().fleet_configs(vec![
+            ("f3", FleetAxis::default()),
+            (
+                "f5",
+                FleetAxis {
+                    fleet_size: 5,
+                    capacity: 4,
+                    placement: PlacementStrategy::LatencyBudgetAware,
+                    failures: FailureSchedule::new().fail(DcId(1), Time::from_secs(3)),
+                },
+            ),
+        ]);
+        assert_eq!(grid.len(), 24);
+        let points = grid.points(9);
+        // Fleet sits between variants (outermost) and coding: for variant
+        // "a" the first 6 points are f3, the next 6 f5.
+        assert_eq!(points[0].fleet_label, "f3");
+        assert_eq!(points[5].fleet.fleet_size, 3);
+        assert_eq!(points[6].fleet_label, "f5");
+        assert_eq!(points[6].fleet.fleet_size, 5);
+        assert!(!points[6].fleet.failures.is_empty());
+        assert_eq!(points[12].variant_label, "b");
+        assert_eq!(points[0].label(), "a/f3/p1/s1");
     }
 
     #[test]

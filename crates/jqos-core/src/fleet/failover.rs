@@ -1,0 +1,263 @@
+//! Failover: drop accounting, failure schedules and the in-simulation fleet
+//! controller that evicts silent DCs and relocates their flows.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use netsim::{Context, Dur, Node, NodeId, Time, TimerId};
+
+use super::registry::FleetRegistry;
+use super::{DcId, FleetMsg};
+use crate::packet::{FlowId, Msg};
+use crate::select::ServiceKind;
+
+/// Why a flow could not be (re)placed on the fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// No live DC existed at all.
+    FleetEmpty,
+    /// Live DCs existed but every one was at capacity.
+    NoCapacity,
+}
+
+impl DropReason {
+    /// Stable small integer for digests and JSON reports.
+    pub fn code(&self) -> u64 {
+        match self {
+            DropReason::FleetEmpty => 1,
+            DropReason::NoCapacity => 2,
+        }
+    }
+
+    /// Stable snake_case name for JSON reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DropReason::FleetEmpty => "fleet_empty",
+            DropReason::NoCapacity => "no_capacity",
+        }
+    }
+}
+
+/// What happened to one flow when its DC was evicted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelocationOutcome {
+    /// A surviving DC adopted the flow.
+    Relocated {
+        /// The evicted DC the flow left.
+        from: DcId,
+        /// The surviving DC that adopted it.
+        to: DcId,
+    },
+    /// No surviving DC could take the flow; it was dropped with an
+    /// accounted reason.
+    Dropped {
+        /// The evicted DC the flow left.
+        from: DcId,
+        /// Why no placement existed.
+        reason: DropReason,
+    },
+}
+
+/// One failover decision the controller made, timestamped in simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailoverEvent {
+    /// When the controller acted (its eviction-check tick).
+    pub at: Time,
+    /// The evicted DC.
+    pub dc: DcId,
+    /// The flow the decision concerns.
+    pub flow: FlowId,
+    /// Where the flow went.
+    pub outcome: RelocationOutcome,
+}
+
+/// A deterministic schedule of DC crashes for a scenario, in schedule order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailureSchedule {
+    events: Vec<(Time, DcId)>,
+}
+
+impl FailureSchedule {
+    /// An empty schedule (no failures).
+    pub fn new() -> Self {
+        FailureSchedule::default()
+    }
+
+    /// Adds a crash of `dc` at `at`.
+    pub fn fail(mut self, dc: DcId, at: Time) -> Self {
+        self.events.push((at, dc));
+        self.events.sort_unstable_by_key(|&(at, dc)| (at, dc));
+        self
+    }
+
+    /// The scheduled crashes, sorted by `(time, dc)`.
+    pub fn events(&self) -> &[(Time, DcId)] {
+        &self.events
+    }
+
+    /// Whether the schedule has no crashes.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// When `dc` is scheduled to crash, if it is.
+    pub fn failure_time(&self, dc: DcId) -> Option<Time> {
+        self.events
+            .iter()
+            .find(|&&(_, d)| d == dc)
+            .map(|&(at, _)| at)
+    }
+}
+
+/// Simulator endpoints of one registered flow, used to re-wire it after a
+/// relocation.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowEndpoints {
+    /// The flow's receiving end host.
+    pub receiver: NodeId,
+    /// Service class the flow registered for.
+    pub service: ServiceKind,
+}
+
+const TIMER_CHECK: u64 = 1;
+
+/// The orchestrator node: owns the [`FleetRegistry`], consumes heartbeats,
+/// runs the eviction check on a periodic timer and executes failovers.
+///
+/// On each evicted DC it relocates the orphaned flows through the registry's
+/// placement strategy (randomness from this node's own deterministic RNG
+/// stream) and re-wires the data plane with three control messages: `Adopt`
+/// to the surviving DC2, and `Retarget` to the receiver and to DC1.
+pub struct FleetControllerNode {
+    registry: FleetRegistry,
+    dc_nodes: Vec<NodeId>,
+    dc1: NodeId,
+    flows: BTreeMap<FlowId, FlowEndpoints>,
+    check_period: Dur,
+    events: Vec<FailoverEvent>,
+}
+
+impl FleetControllerNode {
+    /// Creates the controller from a pre-populated registry (DCs registered,
+    /// initial flows placed), the simulator node of each DC (indexed by
+    /// `DcId`), the ingress DC node and the per-flow endpoints.
+    pub fn new(
+        registry: FleetRegistry,
+        dc_nodes: Vec<NodeId>,
+        dc1: NodeId,
+        flows: BTreeMap<FlowId, FlowEndpoints>,
+        check_period: Dur,
+    ) -> Self {
+        assert_eq!(
+            registry.dc_count(),
+            dc_nodes.len(),
+            "one simulator node per registered DC"
+        );
+        assert!(!check_period.is_zero(), "the eviction check must tick");
+        FleetControllerNode {
+            registry,
+            dc_nodes,
+            dc1,
+            flows,
+            check_period,
+            events: Vec::new(),
+        }
+    }
+
+    /// The registry (final state after a run).
+    pub fn registry(&self) -> &FleetRegistry {
+        &self.registry
+    }
+
+    /// Every failover decision made, in decision order.
+    pub fn events(&self) -> &[FailoverEvent] {
+        &self.events
+    }
+
+    fn check(&mut self, ctx: &mut Context<'_, Msg>) {
+        let now = ctx.now();
+        let evicted = self.registry.tick(now);
+        for dc in evicted {
+            let outcomes = self.registry.relocate_flows_from(dc, ctx.rng());
+            for (flow, outcome) in outcomes {
+                self.events.push(FailoverEvent {
+                    at: now,
+                    dc,
+                    flow,
+                    outcome,
+                });
+                if let RelocationOutcome::Relocated { to, .. } = outcome {
+                    let endpoints = self.flows[&flow];
+                    let new_dc2 = self.dc_nodes[to.0 as usize];
+                    ctx.send(
+                        new_dc2,
+                        Msg::Fleet(FleetMsg::Adopt {
+                            flow,
+                            service: endpoints.service,
+                            receiver: endpoints.receiver,
+                        }),
+                    );
+                    ctx.send(
+                        endpoints.receiver,
+                        Msg::Fleet(FleetMsg::Retarget { flow, dc2: new_dc2 }),
+                    );
+                    ctx.send(
+                        self.dc1,
+                        Msg::Fleet(FleetMsg::Retarget { flow, dc2: new_dc2 }),
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Node<Msg> for FleetControllerNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.set_timer(self.check_period, TIMER_CHECK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        if let Msg::Fleet(FleetMsg::Heartbeat { dc }) = msg {
+            self.registry.heartbeat(dc, ctx.now());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _timer: TimerId, tag: u64) {
+        if tag == TIMER_CHECK {
+            self.check(ctx);
+            ctx.set_timer(self.check_period, TIMER_CHECK);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_schedules_sort_and_answer_lookups() {
+        let schedule = FailureSchedule::new()
+            .fail(DcId(2), Time::from_secs(9))
+            .fail(DcId(0), Time::from_secs(3));
+        assert_eq!(
+            schedule.events(),
+            &[(Time::from_secs(3), DcId(0)), (Time::from_secs(9), DcId(2))]
+        );
+        assert_eq!(schedule.failure_time(DcId(2)), Some(Time::from_secs(9)));
+        assert_eq!(schedule.failure_time(DcId(1)), None);
+        assert!(!schedule.is_empty());
+        assert!(FailureSchedule::new().is_empty());
+    }
+
+    #[test]
+    fn drop_reasons_have_stable_codes_and_names() {
+        assert_eq!(DropReason::FleetEmpty.code(), 1);
+        assert_eq!(DropReason::NoCapacity.code(), 2);
+        assert_eq!(DropReason::FleetEmpty.name(), "fleet_empty");
+        assert_eq!(DropReason::NoCapacity.name(), "no_capacity");
+    }
+}

@@ -1,0 +1,154 @@
+//! Heartbeat deadlines and the per-DC heartbeat agent node.
+
+use std::any::Any;
+
+use netsim::{Context, Dur, Node, NodeId, TimerId};
+
+use super::{DcId, FleetMsg};
+use crate::packet::Msg;
+
+/// Deadline policy for DC liveness.
+///
+/// A DC registered at time `t` must refresh before `t + interval + grace`;
+/// each missed deadline increments a consecutive-miss counter and pushes the
+/// next deadline one `interval + grace` later.  After the first miss the DC
+/// is *Suspect* (still hosting flows, still eligible to refresh back to
+/// *Registered*); after `misses_to_evict` consecutive misses it is *Evicted*
+/// and its flows are relocated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Expected refresh period of healthy DCs.
+    pub interval: Dur,
+    /// Slack added to each deadline, absorbing control-path jitter.
+    pub grace: Dur,
+    /// Consecutive missed deadlines before eviction (≥ 2 gives a Suspect
+    /// stage, so a single flapped deadline never evicts).
+    pub misses_to_evict: u32,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: Dur::from_millis(500),
+            grace: Dur::from_millis(250),
+            misses_to_evict: 2,
+        }
+    }
+}
+
+impl HeartbeatConfig {
+    /// Gap between consecutive deadlines (`interval + grace`).
+    pub fn deadline_step(&self) -> Dur {
+        self.interval + self.grace
+    }
+}
+
+const TIMER_BEAT: u64 = 1;
+
+/// The health-reporting companion of one relay DC.
+///
+/// It emits a [`FleetMsg::Heartbeat`] to the controller every `interval`,
+/// starting after a small per-DC `phase` offset (so a fleet's beats don't all
+/// land at the same instant).  The scenario harness schedules the agent down
+/// together with its DC, which is exactly what makes a crash observable: the
+/// down node's timers are suppressed, the beats stop, and the controller's
+/// deadlines start lapsing.
+pub struct HeartbeatAgent {
+    dc: DcId,
+    controller: NodeId,
+    interval: Dur,
+    phase: Dur,
+    sent: u64,
+}
+
+impl HeartbeatAgent {
+    /// Creates the agent for `dc`, beating toward `controller`.
+    pub fn new(dc: DcId, controller: NodeId, interval: Dur, phase: Dur) -> Self {
+        assert!(
+            phase < interval,
+            "the first beat must precede the first deadline"
+        );
+        HeartbeatAgent {
+            dc,
+            controller,
+            interval,
+            phase,
+            sent: 0,
+        }
+    }
+
+    /// Heartbeats emitted so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl Node<Msg> for HeartbeatAgent {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.set_timer(self.phase, TIMER_BEAT);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _timer: TimerId, tag: u64) {
+        if tag == TIMER_BEAT {
+            self.sent += 1;
+            ctx.send(
+                self.controller,
+                Msg::Fleet(FleetMsg::Heartbeat { dc: self.dc }),
+            );
+            ctx.set_timer(self.interval, TIMER_BEAT);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{LinkSpec, Simulator};
+
+    struct Collector {
+        beats: Vec<DcId>,
+    }
+    impl Node<Msg> for Collector {
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+            if let Msg::Fleet(FleetMsg::Heartbeat { dc }) = msg {
+                self.beats.push(dc);
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn agent_beats_periodically_until_downed() {
+        let mut sim: Simulator<Msg> = Simulator::new(11);
+        let controller = sim.add_node(Collector { beats: vec![] });
+        let agent = sim.add_node(HeartbeatAgent::new(
+            DcId(2),
+            controller,
+            Dur::from_millis(100),
+            Dur::from_millis(3),
+        ));
+        sim.add_link(agent, controller, LinkSpec::symmetric(Dur::from_millis(5)));
+        sim.schedule_down(agent, netsim::Time::from_millis(550));
+        sim.run_for(Dur::from_secs(1));
+        // Beats at 3, 103, 203, 303, 403, 503 ms; the 603 ms timer is
+        // suppressed by the crash.
+        let beats = &sim.node_as::<Collector>(controller).beats;
+        assert_eq!(beats.len(), 6);
+        assert!(beats.iter().all(|d| *d == DcId(2)));
+        assert_eq!(sim.node_as::<HeartbeatAgent>(agent).sent(), 6);
+    }
+
+    #[test]
+    fn deadline_step_combines_interval_and_grace() {
+        let hb = HeartbeatConfig::default();
+        assert_eq!(hb.deadline_step(), hb.interval + hb.grace);
+    }
+}

@@ -1,0 +1,133 @@
+//! The DC-fleet control plane: registration, heartbeats, placement and
+//! failover.
+//!
+//! The paper assumes a *fleet* of cloud relay DCs that flows
+//! `register(latency_budget)` against (§3.5), but the base [`crate::Scenario`]
+//! hard-codes a single DC1/DC2 pair.  This module models the orchestrator that
+//! turns the fixed pair into a dynamic fleet:
+//!
+//! * [`registry::FleetRegistry`] — the pure, deterministic state machine:
+//!   relay DCs register with capabilities ([`registry::DcCapabilities`]),
+//!   refresh with heartbeat deadlines driven off simulated time, move through
+//!   `Registered → Suspect → Evicted` ([`registry::DcState`]) on missed
+//!   refreshes, and host flows placed by a pluggable
+//!   [`placement::PlacementStrategy`];
+//! * [`heartbeat::HeartbeatAgent`] — the per-DC companion node that emits
+//!   timer-driven heartbeats (and goes down together with its DC);
+//! * [`failover::FleetControllerNode`] — the in-simulation controller that
+//!   owns a registry, evicts silent DCs and relocates their flows to the
+//!   survivors, re-targeting DC1, the adopting DC2 and the receivers via
+//!   [`FleetMsg`] control messages;
+//! * [`scenario::FleetScenario`] — the experiment harness wiring an N-DC
+//!   fleet, per-flow senders/receivers and a failure schedule into the
+//!   simulator, reporting [`scenario::FleetReport`].
+//!
+//! # Determinism
+//!
+//! Every fleet state transition is a pure function of simulated time and the
+//! registry's own ordered state (`BTreeMap`/`Vec`, never hash-iteration
+//! order).  Placement randomness comes from either the controller node's own
+//! derived RNG stream or the reserved [`fleet_rng`] stream, so the same
+//! `(master_seed, point_index)` produces byte-identical
+//! [`scenario::FleetReport`]s at 1 and N sweep threads — test-enforced like
+//! the existing sweeps.
+
+pub mod failover;
+pub mod heartbeat;
+pub mod placement;
+pub mod registry;
+pub mod scenario;
+
+use netsim::rng::component_rng;
+use netsim::NodeId;
+use rand::rngs::SmallRng;
+
+use crate::packet::FlowId;
+use crate::select::ServiceKind;
+
+pub use failover::{
+    DropReason, FailoverEvent, FailureSchedule, FleetControllerNode, FlowEndpoints,
+    RelocationOutcome,
+};
+pub use heartbeat::{HeartbeatAgent, HeartbeatConfig};
+pub use placement::PlacementStrategy;
+pub use registry::{DcCapabilities, DcState, FleetRegistry, FleetStats, FlowRequirements};
+pub use scenario::{
+    uniform_fleet, FleetAxis, FleetDcSpec, FleetFlowReport, FleetReport, FleetScenario,
+};
+
+/// Identifier of a relay DC within a fleet (index order is registration
+/// order, which the registry iterates deterministically).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DcId(pub u32);
+
+impl std::fmt::Display for DcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dc{}", self.0)
+    }
+}
+
+/// Stream-label tag for fleet-level randomness (admission-time placement),
+/// keeping it disjoint from node, link, group and point RNG streams.
+const FLEET_STREAM_TAG: u64 = 0x464C_4545_5452_4E47; // "FLEETRNG"
+
+/// The `SmallRng` used for fleet-level decisions made outside any simulator
+/// node (e.g. admission-time flow placement in
+/// [`scenario::FleetScenario::run`]), derived from the scenario seed on a
+/// reserved stream.
+pub fn fleet_rng(scenario_seed: u64) -> SmallRng {
+    component_rng(scenario_seed, FLEET_STREAM_TAG)
+}
+
+/// Control-plane messages exchanged between heartbeat agents, the fleet
+/// controller, the ingress DC, egress DCs and receivers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetMsg {
+    /// Liveness refresh from a DC's heartbeat agent to the controller.
+    Heartbeat {
+        /// The DC refreshing its registration.
+        dc: DcId,
+    },
+    /// Controller → surviving DC2: take over a relocated flow.
+    Adopt {
+        /// The relocated flow.
+        flow: FlowId,
+        /// Service class the flow registered for.
+        service: ServiceKind,
+        /// The flow's receiving end host.
+        receiver: NodeId,
+    },
+    /// Controller → DC1 / receiver: the flow's egress DC changed.
+    Retarget {
+        /// The relocated flow.
+        flow: FlowId,
+        /// Simulator node of the new egress DC.
+        dc2: NodeId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn fleet_rng_is_a_deterministic_reserved_stream() {
+        let (mut r1, mut r2) = (fleet_rng(7), fleet_rng(7));
+        let a: Vec<u64> = (0..4).map(|_| r1.next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|_| r2.next_u64()).collect();
+        assert_eq!(a, b);
+        // Distinct from the node-0 stream of the same seed.
+        assert_ne!(
+            fleet_rng(7).next_u64(),
+            component_rng(7, 0).next_u64(),
+            "fleet stream must not collide with node streams"
+        );
+    }
+
+    #[test]
+    fn dc_ids_order_and_render() {
+        assert!(DcId(0) < DcId(2));
+        assert_eq!(DcId(3).to_string(), "dc3");
+    }
+}

@@ -1,0 +1,212 @@
+//! Pluggable strategies for choosing which surviving DC hosts a flow.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::DcId;
+use crate::select::{PathDelays, ServiceKind};
+
+/// How the registry picks a DC for a new or relocated flow.
+///
+/// All three strategies only ever see *live* candidates with free capacity
+/// (the registry filters those first, in `DcId` order), so none can place a
+/// flow on an evicted or full DC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Cycle through the candidate list with a persistent cursor.
+    RoundRobin,
+    /// Sample a candidate with probability proportional to its free
+    /// capacity, using the supplied deterministic RNG stream.
+    RandomWeighted,
+    /// Prefer the lowest-latency DC whose end-to-end service path fits the
+    /// flow's `register(latency_budget)` class; if no candidate is feasible,
+    /// degrade to the overall lowest-latency candidate.
+    LatencyBudgetAware,
+}
+
+impl std::fmt::Display for PlacementStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            PlacementStrategy::RoundRobin => "round_robin",
+            PlacementStrategy::RandomWeighted => "random_weighted",
+            PlacementStrategy::LatencyBudgetAware => "latency_budget",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One live DC offered to a strategy: its id, remaining flow slots and the
+/// candidate path delays the flow would see through it.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// The DC on offer.
+    pub dc: DcId,
+    /// Remaining flow slots (always ≥ 1 for offered candidates).
+    pub free_capacity: u32,
+    /// Path delays of the flow routed through this DC.
+    pub delays: PathDelays,
+}
+
+/// Picks one of `candidates` (non-empty, sorted by `DcId`) for a flow of the
+/// given service class and latency budget.
+///
+/// `rr_cursor` is the round-robin strategy's persistent cursor; `rng` feeds
+/// the random-weighted strategy.  Both live in the registry so repeated calls
+/// advance deterministically.
+pub(crate) fn choose(
+    strategy: PlacementStrategy,
+    candidates: &[Candidate],
+    service: ServiceKind,
+    budget: netsim::Dur,
+    rr_cursor: &mut usize,
+    rng: &mut SmallRng,
+) -> DcId {
+    assert!(!candidates.is_empty(), "choose() requires candidates");
+    match strategy {
+        PlacementStrategy::RoundRobin => {
+            let picked = candidates[*rr_cursor % candidates.len()].dc;
+            *rr_cursor += 1;
+            picked
+        }
+        PlacementStrategy::RandomWeighted => {
+            let total: u64 = candidates.iter().map(|c| c.free_capacity as u64).sum();
+            let mut ticket = rng.gen_range(0..total);
+            for c in candidates {
+                let weight = c.free_capacity as u64;
+                if ticket < weight {
+                    return c.dc;
+                }
+                ticket -= weight;
+            }
+            candidates[candidates.len() - 1].dc
+        }
+        PlacementStrategy::LatencyBudgetAware => {
+            let latency = |c: &Candidate| c.delays.delivery_latency(service);
+            let best_feasible = candidates
+                .iter()
+                .filter(|c| latency(c) <= budget)
+                .min_by_key(|c| (latency(c), c.dc));
+            match best_feasible {
+                Some(c) => c.dc,
+                // Nothing fits the budget: degrade to the fastest path
+                // instead of dropping the flow.
+                None => {
+                    candidates
+                        .iter()
+                        .min_by_key(|c| (latency(c), c.dc))
+                        .expect("candidates are non-empty")
+                        .dc
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Dur;
+
+    fn candidate(id: u32, free: u32, delta_r_ms: u64) -> Candidate {
+        Candidate {
+            dc: DcId(id),
+            free_capacity: free,
+            delays: PathDelays {
+                y: Dur::from_millis(75),
+                delta_s: Dur::from_millis(10),
+                x: Dur::from_millis(70),
+                delta_r: Dur::from_millis(delta_r_ms),
+                delta_median: Dur::from_millis(delta_r_ms),
+            },
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_with_a_persistent_cursor() {
+        let cands = vec![
+            candidate(0, 1, 10),
+            candidate(1, 1, 10),
+            candidate(2, 1, 10),
+        ];
+        let mut cursor = 0;
+        let mut rng = super::super::fleet_rng(1);
+        let picks: Vec<u32> = (0..5)
+            .map(|_| {
+                choose(
+                    PlacementStrategy::RoundRobin,
+                    &cands,
+                    ServiceKind::Caching,
+                    Dur::from_millis(500),
+                    &mut cursor,
+                    &mut rng,
+                )
+                .0
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn random_weighted_is_deterministic_and_favours_capacity() {
+        let cands = vec![candidate(0, 1, 10), candidate(1, 63, 10)];
+        let draw = |seed| {
+            let mut rng = super::super::fleet_rng(seed);
+            let mut cursor = 0;
+            (0..64)
+                .filter(|_| {
+                    choose(
+                        PlacementStrategy::RandomWeighted,
+                        &cands,
+                        ServiceKind::Caching,
+                        Dur::from_millis(500),
+                        &mut cursor,
+                        &mut rng,
+                    ) == DcId(1)
+                })
+                .count()
+        };
+        assert_eq!(draw(3), draw(3), "same stream, same picks");
+        assert!(draw(3) > 48, "the 63/64 candidate must dominate");
+    }
+
+    #[test]
+    fn latency_budget_prefers_feasible_and_degrades_gracefully() {
+        // Forwarding latency = delta_s + x + delta_r = 80ms + delta_r.
+        let cands = vec![
+            candidate(0, 1, 60),
+            candidate(1, 1, 25),
+            candidate(2, 1, 90),
+        ];
+        let mut cursor = 0;
+        let mut rng = super::super::fleet_rng(9);
+        let pick = |budget_ms: u64, cursor: &mut usize, rng: &mut SmallRng| {
+            choose(
+                PlacementStrategy::LatencyBudgetAware,
+                &cands,
+                ServiceKind::Forwarding,
+                Dur::from_millis(budget_ms),
+                cursor,
+                rng,
+            )
+        };
+        // 110 ms budget: only dc1 (105 ms) is feasible.
+        assert_eq!(pick(110, &mut cursor, &mut rng), DcId(1));
+        // 30 ms budget: nothing feasible, degrade to the fastest (dc1).
+        assert_eq!(pick(30, &mut cursor, &mut rng), DcId(1));
+        // Huge budget: still the lowest-latency feasible DC.
+        assert_eq!(pick(10_000, &mut cursor, &mut rng), DcId(1));
+    }
+
+    #[test]
+    fn strategies_render_stable_labels() {
+        assert_eq!(PlacementStrategy::RoundRobin.to_string(), "round_robin");
+        assert_eq!(
+            PlacementStrategy::RandomWeighted.to_string(),
+            "random_weighted"
+        );
+        assert_eq!(
+            PlacementStrategy::LatencyBudgetAware.to_string(),
+            "latency_budget"
+        );
+    }
+}

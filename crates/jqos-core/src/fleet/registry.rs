@@ -1,0 +1,518 @@
+//! The deterministic fleet registry: DC registration, heartbeat deadlines,
+//! the `Registered → Suspect → Evicted` state machine and flow placement.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use netsim::{Dur, Time};
+use rand::rngs::SmallRng;
+
+use super::failover::{DropReason, RelocationOutcome};
+use super::heartbeat::HeartbeatConfig;
+use super::placement::{self, Candidate, PlacementStrategy};
+use super::DcId;
+use crate::packet::FlowId;
+use crate::select::{PathDelays, ServiceKind};
+
+/// Capabilities a relay DC announces when it registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DcCapabilities {
+    /// Region tag (informational; surfaced in reports).
+    pub region: u32,
+    /// Maximum concurrent flows the DC will host.
+    pub capacity: u32,
+    /// One-way receiver-access latency δr of this DC.
+    pub access_latency: Dur,
+    /// One-way inter-DC latency x from the ingress DC to this DC.
+    pub inter_dc_latency: Dur,
+}
+
+/// Liveness state of a registered DC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DcState {
+    /// Refreshing on time; eligible for placement.
+    Registered,
+    /// Missed at least one deadline but not yet enough to evict; still
+    /// hosting its flows and still eligible to refresh back.
+    Suspect,
+    /// Missed `misses_to_evict` consecutive deadlines; removed from the
+    /// fleet, its flows relocated.  Terminal: stale heartbeats are ignored.
+    Evicted,
+}
+
+/// Requirements a flow brings to placement — its service class, its
+/// `register(latency_budget)` budget, and the flow-side path delays the
+/// registry combines with each DC's capabilities to price a path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowRequirements {
+    /// Service class the flow registered for.
+    pub service: ServiceKind,
+    /// The flow's latency budget.
+    pub latency_budget: Dur,
+    /// One-way latency y of the flow's direct Internet path.
+    pub direct_latency: Dur,
+    /// One-way sender-access latency δs.
+    pub sender_access: Dur,
+}
+
+/// Aggregate counters of everything the registry did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// DCs ever registered.
+    pub dcs_registered: u64,
+    /// Heartbeats accepted (from non-evicted DCs).
+    pub heartbeats: u64,
+    /// Heartbeats from already-evicted DCs, ignored.
+    pub stale_heartbeats: u64,
+    /// `Registered → Suspect` transitions.
+    pub suspects: u64,
+    /// `Suspect → Registered` recoveries (heartbeat flaps that did not
+    /// evict).
+    pub flap_recoveries: u64,
+    /// `Suspect → Evicted` transitions.
+    pub evictions: u64,
+    /// Flows placed at admission.
+    pub flows_placed: u64,
+    /// Flows moved to a surviving DC after an eviction.
+    pub flows_relocated: u64,
+    /// Placement attempts (admission or relocation) rejected because no
+    /// live DC existed.
+    pub drops_fleet_empty: u64,
+    /// Placement attempts (admission or relocation) rejected because every
+    /// live DC was at capacity.
+    pub drops_no_capacity: u64,
+}
+
+impl FleetStats {
+    /// Total flows dropped, over all reason codes.
+    pub fn flows_dropped(&self) -> u64 {
+        self.drops_fleet_empty + self.drops_no_capacity
+    }
+}
+
+/// Per-DC registry entry.
+#[derive(Clone, Debug)]
+struct DcEntry {
+    caps: DcCapabilities,
+    state: DcState,
+    next_deadline: Time,
+    misses: u32,
+    evicted_at: Option<Time>,
+    flows: BTreeSet<FlowId>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FlowRecord {
+    requirements: FlowRequirements,
+    dc: DcId,
+}
+
+/// The fleet's source of truth: which DCs exist, how alive they are, and
+/// which DC hosts which flow.
+///
+/// The registry is *pure* — it never touches wall-clock time or ambient
+/// randomness.  Time arrives as explicit [`Time`] arguments (the controller
+/// passes simulated time), randomness as an explicit `SmallRng` (the
+/// controller passes its derived node stream), and all internal iteration is
+/// over `Vec`/`BTreeMap` in `DcId`/`FlowId` order, so every transition
+/// replays byte-identically.
+#[derive(Clone, Debug)]
+pub struct FleetRegistry {
+    heartbeat: HeartbeatConfig,
+    strategy: PlacementStrategy,
+    dcs: Vec<DcEntry>,
+    flows: BTreeMap<FlowId, FlowRecord>,
+    rr_cursor: usize,
+    stats: FleetStats,
+}
+
+impl FleetRegistry {
+    /// Creates an empty registry with the given deadline policy and
+    /// placement strategy.
+    pub fn new(heartbeat: HeartbeatConfig, strategy: PlacementStrategy) -> Self {
+        FleetRegistry {
+            heartbeat,
+            strategy,
+            dcs: Vec::new(),
+            flows: BTreeMap::new(),
+            rr_cursor: 0,
+            stats: FleetStats::default(),
+        }
+    }
+
+    /// Registers a DC at `now`; its first heartbeat deadline is
+    /// `now + interval + grace`.  Returns the new DC's id.
+    pub fn register_dc(&mut self, caps: DcCapabilities, now: Time) -> DcId {
+        let id = DcId(self.dcs.len() as u32);
+        self.dcs.push(DcEntry {
+            caps,
+            state: DcState::Registered,
+            next_deadline: now + self.heartbeat.deadline_step(),
+            misses: 0,
+            evicted_at: None,
+            flows: BTreeSet::new(),
+        });
+        self.stats.dcs_registered += 1;
+        id
+    }
+
+    /// Number of DCs ever registered (including evicted ones).
+    pub fn dc_count(&self) -> usize {
+        self.dcs.len()
+    }
+
+    /// Liveness state of `dc`.
+    pub fn state(&self, dc: DcId) -> DcState {
+        self.entry(dc).state
+    }
+
+    /// When `dc` was evicted, if it was.
+    pub fn evicted_at(&self, dc: DcId) -> Option<Time> {
+        self.entry(dc).evicted_at
+    }
+
+    /// The capabilities `dc` registered with.
+    pub fn capabilities(&self, dc: DcId) -> DcCapabilities {
+        self.entry(dc).caps
+    }
+
+    /// Flows currently hosted by `dc`, in `FlowId` order.
+    pub fn flows_on(&self, dc: DcId) -> Vec<FlowId> {
+        self.entry(dc).flows.iter().copied().collect()
+    }
+
+    /// The DC currently hosting `flow` (none if the flow was never placed or
+    /// was dropped).
+    pub fn assignment(&self, flow: FlowId) -> Option<DcId> {
+        self.flows.get(&flow).map(|r| r.dc)
+    }
+
+    /// Live (non-evicted) DCs, in `DcId` order.
+    pub fn live_dcs(&self) -> Vec<DcId> {
+        self.dcs
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.state != DcState::Evicted)
+            .map(|(i, _)| DcId(i as u32))
+            .collect()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// The path delays `flow_requirements` would see through `dc`.
+    ///
+    /// The DC's access latency also stands in for the cooperative-recovery
+    /// median δ-median, since the adopting DC serves the same receiver
+    /// population.
+    pub fn path_delays(&self, dc: DcId, req: &FlowRequirements) -> PathDelays {
+        let caps = self.entry(dc).caps;
+        PathDelays {
+            y: req.direct_latency,
+            delta_s: req.sender_access,
+            x: caps.inter_dc_latency,
+            delta_r: caps.access_latency,
+            delta_median: caps.access_latency,
+        }
+    }
+
+    /// Records a refresh from `dc` at `now`.
+    ///
+    /// A Suspect DC that refreshes before its eviction deadline returns to
+    /// Registered with its miss counter cleared — the heartbeat-flap path.
+    /// Evicted DCs stay evicted (the transition is terminal; re-admission
+    /// would be a new registration).
+    pub fn heartbeat(&mut self, dc: DcId, now: Time) {
+        let step = self.heartbeat.deadline_step();
+        match self.entry(dc).state {
+            DcState::Evicted => {
+                self.stats.stale_heartbeats += 1;
+            }
+            state @ (DcState::Registered | DcState::Suspect) => {
+                if state == DcState::Suspect {
+                    self.stats.flap_recoveries += 1;
+                }
+                let entry = self.entry_mut(dc);
+                entry.state = DcState::Registered;
+                entry.misses = 0;
+                entry.next_deadline = now + step;
+                self.stats.heartbeats += 1;
+            }
+        }
+    }
+
+    /// Advances every DC's deadline clock to `now` and returns the DCs that
+    /// became evicted by this call, in `DcId` order.
+    ///
+    /// The caller (the fleet controller) is responsible for relocating the
+    /// evicted DCs' flows via [`FleetRegistry::relocate_flows_from`].
+    pub fn tick(&mut self, now: Time) -> Vec<DcId> {
+        let step = self.heartbeat.deadline_step();
+        let misses_to_evict = self.heartbeat.misses_to_evict;
+        let mut evicted = Vec::new();
+        for (idx, entry) in self.dcs.iter_mut().enumerate() {
+            while entry.state != DcState::Evicted && entry.next_deadline <= now {
+                entry.misses += 1;
+                if entry.misses >= misses_to_evict {
+                    entry.state = DcState::Evicted;
+                    // The eviction is attributed to the deadline that sealed
+                    // it, not to whenever the controller happened to look.
+                    entry.evicted_at = Some(entry.next_deadline);
+                    self.stats.evictions += 1;
+                    evicted.push(DcId(idx as u32));
+                } else {
+                    entry.state = DcState::Suspect;
+                    entry.next_deadline += step;
+                    self.stats.suspects += 1;
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Places a new flow on the fleet.  On success the flow is recorded
+    /// against the chosen DC; on failure the reason is returned and nothing
+    /// is recorded.
+    pub fn place_flow(
+        &mut self,
+        flow: FlowId,
+        requirements: FlowRequirements,
+        rng: &mut SmallRng,
+    ) -> Result<DcId, DropReason> {
+        assert!(
+            !self.flows.contains_key(&flow),
+            "flow {flow:?} is already placed"
+        );
+        let dc = self.choose_dc(&requirements, rng)?;
+        self.record_placement(flow, requirements, dc);
+        self.stats.flows_placed += 1;
+        Ok(dc)
+    }
+
+    /// Relocates every flow hosted by `from` (normally just evicted) onto the
+    /// surviving fleet, returning per-flow outcomes in `FlowId` order.
+    ///
+    /// Flows that no surviving DC can take are dropped with an accounted
+    /// [`DropReason`] and removed from the registry.
+    pub fn relocate_flows_from(
+        &mut self,
+        from: DcId,
+        rng: &mut SmallRng,
+    ) -> Vec<(FlowId, RelocationOutcome)> {
+        let orphans: Vec<FlowId> = std::mem::take(&mut self.entry_mut(from).flows)
+            .into_iter()
+            .collect();
+        let mut outcomes = Vec::with_capacity(orphans.len());
+        for flow in orphans {
+            let record = self.flows.remove(&flow).expect("hosted flows are recorded");
+            let outcome = match self.choose_dc(&record.requirements, rng) {
+                Ok(to) => {
+                    self.record_placement(flow, record.requirements, to);
+                    self.stats.flows_relocated += 1;
+                    RelocationOutcome::Relocated { from, to }
+                }
+                Err(reason) => RelocationOutcome::Dropped { from, reason },
+            };
+            outcomes.push((flow, outcome));
+        }
+        outcomes
+    }
+
+    fn record_placement(&mut self, flow: FlowId, requirements: FlowRequirements, dc: DcId) {
+        self.flows.insert(flow, FlowRecord { requirements, dc });
+        self.entry_mut(dc).flows.insert(flow);
+    }
+
+    /// Live DCs with free capacity, offered to the placement strategy in
+    /// `DcId` order.
+    fn candidates(&self, req: &FlowRequirements) -> Vec<Candidate> {
+        self.dcs
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.state != DcState::Evicted)
+            .filter(|(_, e)| (e.flows.len() as u32) < e.caps.capacity)
+            .map(|(i, e)| Candidate {
+                dc: DcId(i as u32),
+                free_capacity: e.caps.capacity - e.flows.len() as u32,
+                delays: self.path_delays(DcId(i as u32), req),
+            })
+            .collect()
+    }
+
+    fn choose_dc(
+        &mut self,
+        req: &FlowRequirements,
+        rng: &mut SmallRng,
+    ) -> Result<DcId, DropReason> {
+        let candidates = self.candidates(req);
+        if candidates.is_empty() {
+            let reason = if self.live_dcs().is_empty() {
+                DropReason::FleetEmpty
+            } else {
+                DropReason::NoCapacity
+            };
+            match reason {
+                DropReason::FleetEmpty => self.stats.drops_fleet_empty += 1,
+                DropReason::NoCapacity => self.stats.drops_no_capacity += 1,
+            }
+            return Err(reason);
+        }
+        Ok(placement::choose(
+            self.strategy,
+            &candidates,
+            req.service,
+            req.latency_budget,
+            &mut self.rr_cursor,
+            rng,
+        ))
+    }
+
+    fn entry(&self, dc: DcId) -> &DcEntry {
+        &self.dcs[dc.0 as usize]
+    }
+
+    fn entry_mut(&mut self, dc: DcId) -> &mut DcEntry {
+        &mut self.dcs[dc.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::fleet_rng;
+
+    fn caps(capacity: u32, access_ms: u64) -> DcCapabilities {
+        DcCapabilities {
+            region: 0,
+            capacity,
+            access_latency: Dur::from_millis(access_ms),
+            inter_dc_latency: Dur::from_millis(70),
+        }
+    }
+
+    fn requirements() -> FlowRequirements {
+        FlowRequirements {
+            service: ServiceKind::Caching,
+            latency_budget: Dur::from_millis(400),
+            direct_latency: Dur::from_millis(75),
+            sender_access: Dur::from_millis(10),
+        }
+    }
+
+    fn registry_with(n: usize, capacity: u32) -> FleetRegistry {
+        let mut reg = FleetRegistry::new(HeartbeatConfig::default(), PlacementStrategy::RoundRobin);
+        for i in 0..n {
+            reg.register_dc(caps(capacity, 10 + i as u64), Time::ZERO);
+        }
+        reg
+    }
+
+    #[test]
+    fn missed_deadlines_walk_registered_suspect_evicted() {
+        let mut reg = registry_with(1, 4);
+        let step = reg.heartbeat.deadline_step();
+        assert_eq!(reg.state(DcId(0)), DcState::Registered);
+        // First deadline lapses: Suspect, not evicted.
+        assert!(reg.tick(Time::ZERO + step).is_empty());
+        assert_eq!(reg.state(DcId(0)), DcState::Suspect);
+        // Second consecutive lapse: evicted, attributed to the deadline.
+        let evicted = reg.tick(Time::ZERO + step + step);
+        assert_eq!(evicted, vec![DcId(0)]);
+        assert_eq!(reg.state(DcId(0)), DcState::Evicted);
+        assert_eq!(reg.evicted_at(DcId(0)), Some(Time::ZERO + step + step));
+        assert_eq!(reg.stats().suspects, 1);
+        assert_eq!(reg.stats().evictions, 1);
+    }
+
+    #[test]
+    fn a_flapped_heartbeat_recovers_instead_of_evicting() {
+        let mut reg = registry_with(1, 4);
+        let step = reg.heartbeat.deadline_step();
+        // Miss one deadline...
+        reg.tick(Time::ZERO + step);
+        assert_eq!(reg.state(DcId(0)), DcState::Suspect);
+        // ...then refresh just in time, before the second deadline.
+        let just_in_time = Time::ZERO + step + step - Dur::from_millis(1);
+        reg.heartbeat(DcId(0), just_in_time);
+        assert_eq!(reg.state(DcId(0)), DcState::Registered);
+        // The clock advancing past the old second deadline no longer evicts.
+        assert!(reg.tick(Time::ZERO + step + step).is_empty());
+        assert_eq!(reg.state(DcId(0)), DcState::Registered);
+        assert_eq!(reg.stats().flap_recoveries, 1);
+        assert_eq!(reg.stats().evictions, 0);
+    }
+
+    #[test]
+    fn a_long_gap_is_caught_up_in_one_tick() {
+        let mut reg = registry_with(1, 4);
+        let step = reg.heartbeat.deadline_step();
+        // The controller looks late, after several deadlines lapsed: one
+        // tick walks Suspect then Evicted.
+        let evicted = reg.tick(Time::ZERO + step * 5);
+        assert_eq!(evicted, vec![DcId(0)]);
+    }
+
+    #[test]
+    fn evicted_heartbeats_are_stale_and_ignored() {
+        let mut reg = registry_with(1, 4);
+        let step = reg.heartbeat.deadline_step();
+        reg.tick(Time::ZERO + step * 2);
+        assert_eq!(reg.state(DcId(0)), DcState::Evicted);
+        reg.heartbeat(DcId(0), Time::ZERO + step * 3);
+        assert_eq!(reg.state(DcId(0)), DcState::Evicted);
+        assert_eq!(reg.stats().stale_heartbeats, 1);
+    }
+
+    #[test]
+    fn placement_respects_capacity_and_accounts_drops() {
+        let mut reg = registry_with(2, 1);
+        let mut rng = fleet_rng(5);
+        let a = reg.place_flow(FlowId(0), requirements(), &mut rng).unwrap();
+        let b = reg.place_flow(FlowId(1), requirements(), &mut rng).unwrap();
+        assert_ne!(a, b, "capacity 1 each: the two flows must spread");
+        assert_eq!(
+            reg.place_flow(FlowId(2), requirements(), &mut rng),
+            Err(DropReason::NoCapacity)
+        );
+        // Evict everything: placement now reports an empty fleet.
+        let step = reg.heartbeat.deadline_step();
+        reg.tick(Time::ZERO + step * 2);
+        assert_eq!(
+            reg.place_flow(FlowId(3), requirements(), &mut rng),
+            Err(DropReason::FleetEmpty)
+        );
+    }
+
+    #[test]
+    fn relocation_moves_flows_off_the_evicted_dc() {
+        let mut reg = registry_with(3, 8);
+        let mut rng = fleet_rng(6);
+        for f in 0..6u32 {
+            reg.place_flow(FlowId(f), requirements(), &mut rng).unwrap();
+        }
+        let victims = reg.flows_on(DcId(0));
+        assert!(!victims.is_empty());
+        let step = reg.heartbeat.deadline_step();
+        // Keep DCs 1 and 2 alive while DC 0 goes silent.
+        reg.heartbeat(DcId(1), Time::ZERO + step - Dur::from_millis(1));
+        reg.heartbeat(DcId(2), Time::ZERO + step - Dur::from_millis(1));
+        let evicted = reg.tick(Time::ZERO + step * 2);
+        assert_eq!(evicted, vec![DcId(0)]);
+        let outcomes = reg.relocate_flows_from(DcId(0), &mut rng);
+        assert_eq!(outcomes.len(), victims.len());
+        for (flow, outcome) in &outcomes {
+            match outcome {
+                RelocationOutcome::Relocated { from, to } => {
+                    assert_eq!(*from, DcId(0));
+                    assert_ne!(*to, DcId(0));
+                    assert_eq!(reg.assignment(*flow), Some(*to));
+                    assert_ne!(reg.state(*to), DcState::Evicted);
+                }
+                RelocationOutcome::Dropped { .. } => panic!("capacity was ample"),
+            }
+        }
+        assert!(reg.flows_on(DcId(0)).is_empty());
+        assert_eq!(reg.stats().flows_relocated as usize, victims.len());
+    }
+}

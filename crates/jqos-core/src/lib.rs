@@ -35,6 +35,7 @@
 pub mod coding;
 pub mod cost;
 pub mod experiment;
+pub mod fleet;
 pub mod nodes;
 pub mod packet;
 pub mod recovery;
@@ -46,6 +47,10 @@ pub use experiment::sweep::{
     SweepGrid, SweepPoint,
 };
 pub use experiment::{FlowReport, PacketOutcome, Scenario, ScenarioReport};
+pub use fleet::{
+    DcCapabilities, DcId, DcState, DropReason, FailureSchedule, FleetAxis, FleetRegistry,
+    FleetReport, FleetScenario, FleetStats, PlacementStrategy,
+};
 pub use packet::{BatchId, CodedPacket, DataPacket, FlowId, Msg, SeqNo};
 pub use select::{PathDelays, Registration, Selection, ServiceKind, ServiceSelector};
 
@@ -58,6 +63,11 @@ pub mod prelude {
         SweepGrid, SweepPoint,
     };
     pub use crate::experiment::{FlowReport, PacketOutcome, Scenario, ScenarioReport};
+    pub use crate::fleet::{
+        uniform_fleet, DcCapabilities, DcId, DcState, DropReason, FailoverEvent, FailureSchedule,
+        FleetAxis, FleetDcSpec, FleetFlowReport, FleetRegistry, FleetReport, FleetScenario,
+        FleetStats, FlowRequirements, HeartbeatConfig, PlacementStrategy, RelocationOutcome,
+    };
     pub use crate::nodes::dc2::Dc2Config;
     pub use crate::nodes::receiver::{DeliveryMethod, ReceiverConfig};
     pub use crate::nodes::source::{CbrSource, ScheduleSource, TrafficSource};

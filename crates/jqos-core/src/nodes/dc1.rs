@@ -160,6 +160,17 @@ impl Node<Msg> for Dc1Node {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        if let Msg::Fleet(crate::fleet::FleetMsg::Retarget { flow, dc2 }) = msg {
+            // Fleet failover: point the flow's cloud path at its new egress
+            // DC.  Re-registering the coding queue makes future batches (and
+            // their parity) target the adopting DC2.
+            if let Some(state) = self.flows.get_mut(&flow) {
+                state.dc2 = dc2;
+                let receiver = state.receiver;
+                self.queues.register_flow(flow, dc2, receiver);
+            }
+            return;
+        }
         if let Msg::CloudData(packet) = msg {
             let state = match self.flows.get(&packet.flow) {
                 Some(s) => *s,

@@ -537,6 +537,11 @@ impl Node<Msg> for Dc2Node {
                 from_seq,
                 to_seq,
             } => self.handle_pull(ctx, from, flow, from_seq, to_seq),
+            Msg::Fleet(crate::fleet::FleetMsg::Adopt {
+                flow,
+                service,
+                receiver,
+            }) => self.register_flow(flow, service, receiver),
             _ => {}
         }
     }

@@ -37,6 +37,11 @@ pub struct SimStats {
     pub timers_fired: u64,
     /// Events processed in total.
     pub events_processed: u64,
+    /// Messages dropped because the destination node was down (crashed DC)
+    /// when delivery came due — in-flight traffic dies with the node.
+    pub messages_dropped_down: u64,
+    /// Timer events suppressed because their node was down when they fired.
+    pub timers_suppressed_down: u64,
 }
 
 /// Directed links stored densely, resolved through per-source adjacency rows
@@ -212,6 +217,16 @@ impl<M: Clone + 'static> SimCore<M> {
     }
 }
 
+/// A scheduled liveness transition of one node (see
+/// [`Simulator::schedule_down`]).
+#[derive(Clone, Copy, Debug)]
+struct LivenessEvent {
+    at: Time,
+    seq: u64,
+    node: NodeId,
+    down: bool,
+}
+
 /// The discrete-event simulator.
 pub struct Simulator<M> {
     core: SimCore<M>,
@@ -220,6 +235,15 @@ pub struct Simulator<M> {
     /// Nodes whose `on_start` has not run yet; lets [`Simulator::step`] skip
     /// the start scan entirely on the hot path once every node is live.
     unstarted: usize,
+    /// Per-node down flags; empty until the first liveness schedule so the
+    /// default hot path pays nothing.
+    down: Vec<bool>,
+    /// Pending liveness transitions sorted by `(at, seq)`; applied lazily as
+    /// the clock passes them.
+    liveness: Vec<LivenessEvent>,
+    /// Index of the next unapplied entry of `liveness`.
+    liveness_cursor: usize,
+    liveness_seq: u64,
 }
 
 impl<M: Clone + 'static> Simulator<M> {
@@ -261,6 +285,10 @@ impl<M: Clone + 'static> Simulator<M> {
             nodes: NodeSlab::with_capacity(nodes_hint),
             started: Vec::with_capacity(nodes_hint),
             unstarted: 0,
+            down: Vec::new(),
+            liveness: Vec::new(),
+            liveness_cursor: 0,
+            liveness_seq: 0,
         }
     }
 
@@ -317,6 +345,66 @@ impl<M: Clone + 'static> Simulator<M> {
     /// The current simulated time.
     pub fn now(&self) -> Time {
         self.core.now
+    }
+
+    /// Schedules `node` to go down (crash) at simulated time `at`.
+    ///
+    /// From that instant on, messages due for delivery to the node are
+    /// dropped (counted in [`SimStats::messages_dropped_down`] — in-flight
+    /// packets die with the node) and its timers are suppressed
+    /// ([`SimStats::timers_suppressed_down`]).  The node sends nothing
+    /// because its handlers never run.  Transitions are applied in `(time,
+    /// schedule order)` — deterministic regardless of scheduler backend or
+    /// event load, so fault-injection scenarios replay byte-identically.
+    pub fn schedule_down(&mut self, node: NodeId, at: Time) {
+        self.schedule_liveness(node, at, true);
+    }
+
+    /// Schedules `node` to come back up at simulated time `at` (e.g. a DC
+    /// returning after a rolling upgrade).  A revived node keeps its state;
+    /// timers that fired while it was down are gone for good.
+    pub fn schedule_up(&mut self, node: NodeId, at: Time) {
+        self.schedule_liveness(node, at, false);
+    }
+
+    /// Whether `node` is currently down (as of the simulated clock).
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down.get(node.0).copied().unwrap_or(false)
+    }
+
+    fn schedule_liveness(&mut self, node: NodeId, at: Time, down: bool) {
+        assert!(
+            at >= self.core.now,
+            "liveness transitions cannot be scheduled in the past"
+        );
+        let event = LivenessEvent {
+            at,
+            seq: self.liveness_seq,
+            node,
+            down,
+        };
+        self.liveness_seq += 1;
+        // Keep the unapplied tail sorted by (at, seq); schedules are tiny and
+        // almost always appended in time order, so this is effectively a push.
+        let pos = self.liveness[self.liveness_cursor..]
+            .partition_point(|e| (e.at, e.seq) <= (at, event.seq))
+            + self.liveness_cursor;
+        self.liveness.insert(pos, event);
+    }
+
+    /// Applies every liveness transition due at or before `upto`.
+    fn apply_liveness(&mut self, upto: Time) {
+        while let Some(event) = self.liveness.get(self.liveness_cursor) {
+            if event.at > upto {
+                break;
+            }
+            let event = *event;
+            self.liveness_cursor += 1;
+            if event.node.0 >= self.down.len() {
+                self.down.resize(event.node.0 + 1, false);
+            }
+            self.down[event.node.0] = event.down;
+        }
     }
 
     /// Engine counters.
@@ -380,9 +468,16 @@ impl<M: Clone + 'static> Simulator<M> {
         debug_assert!(event.at >= self.core.now, "time went backwards");
         self.core.now = event.at;
         self.core.stats.events_processed += 1;
+        if self.liveness_cursor < self.liveness.len() {
+            self.apply_liveness(event.at);
+        }
         match event.kind {
             EventKind::Deliver { to, from, msg } => {
                 if !self.nodes.contains(to) {
+                    return true;
+                }
+                if self.is_down(to) {
+                    self.core.stats.messages_dropped_down += 1;
                     return true;
                 }
                 self.core.stats.messages_delivered += 1;
@@ -405,6 +500,10 @@ impl<M: Clone + 'static> Simulator<M> {
                     return true;
                 }
                 if !self.nodes.contains(nid) {
+                    return true;
+                }
+                if self.is_down(nid) {
+                    self.core.stats.timers_suppressed_down += 1;
                     return true;
                 }
                 self.core.stats.timers_fired += 1;
@@ -436,6 +535,9 @@ impl<M: Clone + 'static> Simulator<M> {
         if self.core.now < deadline {
             self.core.now = deadline;
         }
+        // Transitions due inside an idle tail still take effect, so post-run
+        // `is_down` queries reflect the clock, not the last processed event.
+        self.apply_liveness(self.core.now);
     }
 
     /// Runs for `dur` of simulated time from the current clock.
@@ -710,6 +812,105 @@ mod tests {
             sim.node_as::<Client>(client_a).pongs.clone()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn down_nodes_drop_deliveries_and_suppress_timers() {
+        let mut sim = Simulator::new(21);
+        let server = sim.add_node(Echo);
+        let client = sim.add_node(Client {
+            server,
+            to_send: 0,
+            pongs: vec![],
+        });
+        sim.add_link(client, server, LinkSpec::symmetric(Dur::from_millis(10)));
+        // A timer-driven pinger: sends one ping per 100 ms via timers.
+        struct Pinger {
+            server: NodeId,
+            sent: u32,
+        }
+        impl Node<Msg> for Pinger {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(Dur::from_millis(100), 0);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _t: TimerId, _tag: u64) {
+                ctx.send(self.server, Msg::Ping(self.sent));
+                self.sent += 1;
+                ctx.set_timer(Dur::from_millis(100), 0);
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let pinger = sim.add_node(Pinger { server, sent: 0 });
+        sim.add_link(pinger, server, LinkSpec::symmetric(Dur::from_millis(10)));
+
+        // The server dies at t = 450 ms: pings 0..4 (due 110..410 ms) get
+        // answered, later ones are dropped at the dead server.
+        sim.schedule_down(server, Time::from_millis(450));
+        sim.run_for(Dur::from_secs(1));
+        assert!(sim.is_down(server));
+        let stats = sim.stats();
+        assert_eq!(stats.messages_dropped_down, 5, "pings 5..9 die at the DC");
+        assert_eq!(sim.node_as::<Pinger>(pinger).sent, 10);
+
+        // The pinger itself dies next run; its periodic timer is suppressed.
+        let mut sim2 = Simulator::new(21);
+        let server2 = sim2.add_node(Echo);
+        let pinger2 = sim2.add_node(Pinger {
+            server: server2,
+            sent: 0,
+        });
+        sim2.add_link(pinger2, server2, LinkSpec::symmetric(Dur::from_millis(10)));
+        sim2.schedule_down(pinger2, Time::from_millis(250));
+        sim2.run_for(Dur::from_secs(1));
+        assert_eq!(sim2.node_as::<Pinger>(pinger2).sent, 2);
+        assert_eq!(sim2.stats().timers_suppressed_down, 1);
+        let _ = client;
+    }
+
+    #[test]
+    fn schedule_up_revives_a_node() {
+        let mut sim = Simulator::new(22);
+        let server = sim.add_node(Echo);
+        let client = sim.add_node(Client {
+            server,
+            to_send: 0,
+            pongs: vec![],
+        });
+        sim.add_link(client, server, LinkSpec::symmetric(Dur::from_millis(10)));
+        sim.schedule_down(server, Time::from_millis(100));
+        sim.schedule_up(server, Time::from_millis(300));
+        sim.run_until(Time::from_millis(200));
+        assert!(sim.is_down(server));
+        sim.run_until(Time::from_millis(400));
+        assert!(!sim.is_down(server));
+    }
+
+    #[test]
+    fn down_transitions_replay_identically_across_backends() {
+        let run = |kind: QueueKind| {
+            let mut sim = Simulator::with_queue(33, kind);
+            let server = sim.add_node(Echo);
+            let client = sim.add_node(Client {
+                server,
+                to_send: 400,
+                pongs: vec![],
+            });
+            sim.add_link(
+                client,
+                server,
+                LinkSpec::symmetric(Dur::from_millis(10)).loss(LossSpec::Bernoulli(0.1)),
+            );
+            sim.schedule_down(server, Time::from_millis(5));
+            sim.schedule_up(server, Time::from_millis(15));
+            sim.run_for(Dur::from_secs(2));
+            (sim.node_as::<Client>(client).pongs.clone(), sim.stats())
+        };
+        let heap = run(QueueKind::Heap);
+        assert_eq!(heap, run(QueueKind::Calendar));
+        assert!(heap.1.messages_dropped_down > 0);
     }
 
     mod properties {

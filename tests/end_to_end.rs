@@ -245,6 +245,46 @@ fn stress_topology_replays_identically_across_engines_and_threads() {
     assert_eq!(serial.digest, 0x95be_bfbf_c42f_73d8, "golden stress digest");
 }
 
+/// The fleet control plane's replay guarantee, pinned: a three-DC fleet with
+/// one scheduled failure must produce the identical `FleetReport` on both
+/// scheduler backends, and its digest is a golden value.  Like the stress
+/// digest it folds only integer counters (placements, relocations, packet
+/// outcomes, microsecond timestamps), so it is stable across platforms; a
+/// change here means the control-plane or simulation semantics changed.
+#[test]
+fn fleet_failover_scenario_has_a_golden_digest() {
+    let run = |queue: QueueKind| {
+        let mut scenario = FleetScenario::new(512)
+            .with_queue(queue)
+            .with_fleet(uniform_fleet(3, 4))
+            .with_internet(
+                LinkSpec::symmetric(Dur::from_millis(75)).loss(LossSpec::Bernoulli(0.02)),
+            )
+            .with_failures(FailureSchedule::new().fail(DcId(2), Time::from_secs(3)));
+        for service in [
+            ServiceKind::Caching,
+            ServiceKind::Coding,
+            ServiceKind::Caching,
+        ] {
+            scenario = scenario.add_flow(
+                service,
+                Dur::from_millis(400),
+                Box::new(CbrSource::new(Dur::from_millis(25), 400, 200)),
+            );
+        }
+        scenario.run(Dur::from_secs(8))
+    };
+    let calendar = run(QueueKind::Calendar);
+    let heap = run(QueueKind::Heap);
+    assert_eq!(calendar.digest(), heap.digest());
+    assert_eq!(calendar.relocated(), 1, "DC 2's flow must relocate");
+    assert_eq!(
+        calendar.digest(),
+        0x570f_57d6_387b_ffb8,
+        "golden fleet digest"
+    );
+}
+
 /// `Scenario` runs — the full J-QoS pipeline, not just raw netsim — are also
 /// byte-identical across the old and new scheduler backends.
 #[test]

@@ -107,45 +107,67 @@ fn recovery_works_with_and_without_nack_checking() {
     assert!(without_check.flows[0].recovery_rate() > 0.85);
 }
 
-/// DC2 itself goes dark mid-flow: the inter-DC path and the receiver access
-/// path both black out for several seconds.  Recovery is impossible during
-/// the blackout, but the system must degrade gracefully — no panic, direct
-/// path deliveries continue, and the recovery machinery resumes when DC2
-/// returns.
+/// A DC2 goes dark mid-flow.  Parameterized over the whole fleet: whichever
+/// of the three DCs crashes, the outcome must be the same shape — the dead
+/// DC is evicted, its flows relocate to survivors and keep delivering, the
+/// direct path never stops, and traffic aimed at the corpse is dropped by
+/// the simulator with accounting, not blackholed.
 #[test]
 fn dc2_outage_mid_flow_degrades_gracefully() {
-    let dc2_outage = LossSpec::Outage(vec![(Time::from_secs(5), Time::from_secs(10))]);
-    let topology = Topology::wide_area(LossSpec::Bernoulli(0.02))
-        .inter_dc_loss(dc2_outage.clone())
-        .receiver_access_loss(dc2_outage);
-    let report = Scenario::new(204)
-        .with_topology(topology)
-        .add_flow(
-            ServiceKind::Caching,
-            Box::new(CbrSource::new(Dur::from_millis(20), 400, 800)),
-        )
-        .run(Dur::from_secs(18));
-    let flow = &report.flows[0];
-    assert_eq!(flow.sent(), 800);
-    // The direct path is unaffected by the DC outage: ~98% of packets still
-    // arrive directly.
-    assert!(
-        flow.delivered_direct() > 700,
-        "direct path should keep delivering, got {}",
-        flow.delivered_direct()
-    );
-    // Losses during the blackout are unrecoverable, so recovery is partial —
-    // but packets lost outside the blackout window are still recovered.
-    assert!(
-        flow.recovered() > 0,
-        "recovery must resume after the DC2 outage"
-    );
-    assert!(
-        flow.unrecovered() > 0,
-        "losses during the DC2 blackout cannot be recovered"
-    );
-    // NACKs were sent into the void during the outage.
-    assert!(flow.nacks_sent as usize > flow.recovered());
+    let failure_at = Time::from_secs(3);
+    for crashed in 0..3u32 {
+        let crashed = DcId(crashed);
+        let mut scenario = FleetScenario::new(204)
+            .with_fleet(uniform_fleet(3, 4))
+            .with_internet(
+                LinkSpec::symmetric(Dur::from_millis(75)).loss(LossSpec::Bernoulli(0.02)),
+            )
+            .with_failures(FailureSchedule::new().fail(crashed, failure_at));
+        for _ in 0..3 {
+            scenario = scenario.add_flow(
+                ServiceKind::Caching,
+                Dur::from_millis(400),
+                Box::new(CbrSource::new(Dur::from_millis(25), 400, 260)),
+            );
+        }
+        let report = scenario.run(Dur::from_secs(8));
+
+        // Exactly the crashed DC is evicted; the rest of the fleet is healthy.
+        for &(dc, state, _) in &report.dc_states {
+            if dc == crashed {
+                assert_eq!(state, DcState::Evicted, "crashed {crashed:?} must evict");
+            } else {
+                assert_eq!(state, DcState::Registered, "survivor {dc:?} must stay");
+            }
+        }
+        assert_eq!(report.fleet.evictions, 1);
+        // Round-robin admission puts one flow on each DC, so exactly one flow
+        // relocates — regardless of which DC died.
+        assert_eq!(report.relocated(), 1, "one flow lived on {crashed:?}");
+        assert_eq!(report.dropped(), 0);
+        let evicted_at = report.dc_states[crashed.0 as usize]
+            .2
+            .expect("eviction is timestamped");
+        for event in report.relocations_from(crashed) {
+            let flow = &report.flows[event.flow.0 as usize];
+            assert!(
+                flow.delivered_after(evicted_at) > 0,
+                "flow {} must keep delivering after {crashed:?} died",
+                event.flow.0
+            );
+        }
+        // The direct path is unaffected by the DC outage, for every flow.
+        for flow in &report.flows {
+            assert!(
+                flow.delivered_direct() > flow.sent() * 9 / 10,
+                "direct path should keep delivering, got {}/{}",
+                flow.delivered_direct(),
+                flow.sent()
+            );
+        }
+        // Traffic aimed at the dead DC was dropped with accounting.
+        assert!(report.messages_dropped_down > 0);
+    }
 }
 
 /// Back-to-back loss episodes on the direct path must be classified in the

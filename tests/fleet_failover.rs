@@ -1,0 +1,169 @@
+//! Fleet fault-injection integration tests: DC crashes mid-flow, heartbeat
+//! flaps, and multi-DC failures must degrade gracefully — relocation instead
+//! of silent loss, Suspect instead of trigger-happy eviction, accounted drops
+//! instead of panics.
+
+use jqos::prelude::*;
+
+fn cbr(count: u64) -> Box<dyn TrafficSource> {
+    Box::new(CbrSource::new(Dur::from_millis(25), 400, count))
+}
+
+/// A DC crash mid-flow: the coding flows living on the crashed DC are
+/// relocated to survivors, keep delivering after the failover, and the
+/// recovery machinery (batches, NACKs, pulls) resumes against the adopting
+/// DC — recoverable packets are not lost with the old DC.
+#[test]
+fn dc_crash_relocates_active_coding_flows_without_losing_recoverable_packets() {
+    let failure_at = Time::from_secs(3);
+    let mut scenario = FleetScenario::new(301)
+        .with_fleet(uniform_fleet(3, 4))
+        .with_internet(LinkSpec::symmetric(Dur::from_millis(75)).loss(LossSpec::Bernoulli(0.02)))
+        .with_failures(FailureSchedule::new().fail(DcId(1), failure_at));
+    // Six coding flows, round-robin over three DCs: two live on the doomed
+    // DC 1 and stay mid-batch when it crashes.
+    for _ in 0..6 {
+        scenario = scenario.add_flow(ServiceKind::Coding, Dur::from_millis(400), cbr(280));
+    }
+    let report = scenario.run(Dur::from_secs(8));
+
+    // Both of DC 1's flows relocated; nothing was dropped.
+    assert_eq!(report.fleet.flows_placed, 6);
+    assert_eq!(report.fleet.evictions, 1);
+    assert_eq!(report.relocated(), 2);
+    assert_eq!(report.dropped(), 0);
+    let (_, state, evicted_at) = report.dc_states[1];
+    assert_eq!(state, DcState::Evicted);
+    let evicted_at = evicted_at.expect("crash must timestamp the eviction");
+    assert!(evicted_at > failure_at);
+
+    for event in report.relocations_from(DcId(1)) {
+        let flow = &report.flows[event.flow.0 as usize];
+        // The flow kept delivering after its DC died...
+        assert!(
+            flow.delivered_after(evicted_at) > 0,
+            "flow {} must keep delivering after failover",
+            event.flow.0
+        );
+        // ...and the delivery rate stays near the healthy flows': the crash
+        // must not orphan a batch's worth of recoverable packets.
+        let rate = flow.delivered() as f64 / flow.sent() as f64;
+        assert!(
+            rate > 0.97,
+            "flow {} delivered only {:.3} after relocation",
+            event.flow.0,
+            rate
+        );
+    }
+    // Recovery happened on both sides of the failover.
+    let recovered_total: usize = report.flows.iter().map(|f| f.recovered()).sum();
+    assert!(recovered_total > 0, "coding recovery must stay active");
+    // Traffic aimed at the dead DC was dropped by the simulator (and
+    // accounted), not silently blackholed.
+    assert!(report.messages_dropped_down > 0);
+}
+
+/// A heartbeat flap — one missed deadline, then a refresh just in time —
+/// walks the DC to Suspect and straight back to Registered.  Its flows never
+/// move and no eviction happens.
+#[test]
+fn heartbeat_flap_suspects_but_does_not_evict() {
+    let hb = HeartbeatConfig::default();
+    let mut registry = FleetRegistry::new(hb, PlacementStrategy::RoundRobin);
+    let dc = registry.register_dc(
+        DcCapabilities {
+            region: 0,
+            capacity: 4,
+            access_latency: Dur::from_millis(10),
+            inter_dc_latency: Dur::from_millis(70),
+        },
+        Time::ZERO,
+    );
+    let mut rng = jqos::core::fleet::fleet_rng(7);
+    let requirements = FlowRequirements {
+        service: ServiceKind::Caching,
+        latency_budget: Dur::from_millis(400),
+        direct_latency: Dur::from_millis(75),
+        sender_access: Dur::from_millis(10),
+    };
+    registry
+        .place_flow(FlowId(0), requirements, &mut rng)
+        .expect("one DC with free capacity");
+
+    let step = hb.deadline_step();
+    // Healthy refresh before the first deadline.
+    registry.heartbeat(dc, Time::ZERO + hb.interval);
+    assert!(registry.tick(Time::ZERO + step).is_empty());
+
+    // Then the DC goes silent past its next deadline: Suspect, not Evicted.
+    let lapsed = Time::ZERO + hb.interval + step + Dur::from_millis(1);
+    assert!(registry.tick(lapsed).is_empty());
+    assert_eq!(registry.state(dc), DcState::Suspect);
+
+    // A just-in-time refresh lands before the second deadline: the flap
+    // recovers, the flow never moved.
+    registry.heartbeat(dc, lapsed + Dur::from_millis(5));
+    assert_eq!(registry.state(dc), DcState::Registered);
+    assert!(registry.tick(lapsed + step).is_empty());
+    assert_eq!(registry.assignment(FlowId(0)), Some(dc));
+    let stats = registry.stats();
+    assert_eq!(stats.suspects, 1);
+    assert_eq!(stats.flap_recoveries, 1);
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(stats.flows_relocated, 0);
+}
+
+/// Two simultaneous DC failures with the survivor already at capacity: the
+/// orphaned flows drop with an accounted reason code — no panic, no silent
+/// loss — and the survivor's own flows are untouched.
+#[test]
+fn two_simultaneous_dc_failures_degrade_gracefully() {
+    let failure_at = Time::from_secs(3);
+    // Capacity 2 per DC: six flows fill the fleet completely, so the single
+    // survivor has no free slots for the four orphans.
+    let mut scenario = FleetScenario::new(302)
+        .with_fleet(uniform_fleet(3, 2))
+        .with_internet(LinkSpec::symmetric(Dur::from_millis(75)).loss(LossSpec::Bernoulli(0.01)))
+        .with_failures(
+            FailureSchedule::new()
+                .fail(DcId(0), failure_at)
+                .fail(DcId(2), failure_at),
+        );
+    for _ in 0..6 {
+        scenario = scenario.add_flow(ServiceKind::Caching, Dur::from_millis(400), cbr(240));
+    }
+    let report = scenario.run(Dur::from_secs(8));
+
+    assert_eq!(report.fleet.flows_placed, 6);
+    assert_eq!(report.fleet.evictions, 2);
+    assert_eq!(report.dc_states[0].1, DcState::Evicted);
+    assert_eq!(report.dc_states[1].1, DcState::Registered);
+    assert_eq!(report.dc_states[2].1, DcState::Evicted);
+    // All four orphans dropped, every one with the no-capacity reason code.
+    assert_eq!(report.relocated(), 0);
+    assert_eq!(report.dropped(), 4);
+    assert_eq!(report.dropped_with(DropReason::NoCapacity), 4);
+    assert_eq!(report.dropped_with(DropReason::FleetEmpty), 0);
+    assert_eq!(report.fleet.drops_no_capacity, 4);
+    // The survivor kept its own two flows and they kept recovering.
+    let survivors: Vec<_> = report
+        .flows
+        .iter()
+        .filter(|f| f.initial_dc == Some(DcId(1)))
+        .collect();
+    assert_eq!(survivors.len(), 2);
+    for flow in survivors {
+        assert!(
+            flow.delivered() as f64 / flow.sent() as f64 > 0.97,
+            "survivor flows must be unaffected"
+        );
+    }
+    // Dropped flows still deliver whatever the direct Internet path carries.
+    for flow in report
+        .flows
+        .iter()
+        .filter(|f| f.initial_dc != Some(DcId(1)))
+    {
+        assert!(flow.delivered_direct() > 0);
+    }
+}
