@@ -1,0 +1,7 @@
+//! Loopback load harness for the sharded relay dataplane — equivalent to
+//! `jqos loadgen`, writing `BENCH_net_loadgen.json`.
+//! `JQOS_QUICK=1` shrinks the run (fewer flows, shard counts 1–2) for CI.
+
+fn main() {
+    jqos_bench::netload::run();
+}

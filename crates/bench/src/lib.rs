@@ -27,5 +27,6 @@
 
 pub mod figures;
 pub mod harness;
+pub mod netload;
 pub mod seedsim;
 pub mod stress;

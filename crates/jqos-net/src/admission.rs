@@ -1,0 +1,168 @@
+//! Flow admission: the live `register(latency_budget)` path.
+//!
+//! The relay's control socket receives [`WireMsg::Register`] datagrams and
+//! runs the *same* service-selection logic the simulator uses
+//! ([`jqos_core::select::ServiceSelector`]) over the relay's configured
+//! [`PathDelays`].  The outcome is either
+//!
+//! * **admit** — the cheapest service whose estimated delivery latency fits
+//!   the budget (coding < caching < forwarding, §3.5), answered with a
+//!   [`WireMsg::RegisterAck`] naming the shard that will own the flow, or
+//! * **reject** — with a wire-visible [`RejectReason`]: `BudgetInfeasible`
+//!   when even forwarding (the best the overlay can do) misses the budget,
+//!   or `ShardFull` when the hash-target shard is at capacity.
+//!
+//! Rejections are never silent: they are counted per reason, kept in a
+//! bounded history for tests/metrics, and echoed to the sender.
+//!
+//! [`WireMsg::Register`]: crate::wire::WireMsg::Register
+//! [`WireMsg::RegisterAck`]: crate::wire::WireMsg::RegisterAck
+//! [`PathDelays`]: jqos_core::select::PathDelays
+
+use jqos_core::select::{PathDelays, Registration, Selection, ServiceSelector};
+use netsim::Dur;
+
+use crate::wire::RejectReason;
+
+/// The admission decision for one `register(...)` request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Admit with the selected service.
+    Accept(Selection),
+    /// Refuse with a reason code.
+    Reject(RejectReason),
+}
+
+/// Decides admissions; a thin policy wrapper around [`ServiceSelector`].
+#[derive(Clone, Debug)]
+pub struct AdmissionPolicy {
+    selector: ServiceSelector,
+    strict: bool,
+    max_flows_per_shard: usize,
+}
+
+impl AdmissionPolicy {
+    /// Builds a policy over the given path-delay model.
+    ///
+    /// `strict` enables budget-feasibility rejection (the default for the
+    /// relay): a flow whose budget not even forwarding can meet is refused
+    /// instead of silently degraded.  `max_flows_per_shard` bounds each
+    /// shard's flow table.
+    pub fn new(delays: PathDelays, strict: bool, max_flows_per_shard: usize) -> Self {
+        AdmissionPolicy {
+            selector: ServiceSelector::new(delays),
+            strict,
+            max_flows_per_shard,
+        }
+    }
+
+    /// The underlying selector (shared with tests asserting that the wire
+    /// path and the simulator agree).
+    pub fn selector(&self) -> &ServiceSelector {
+        &self.selector
+    }
+
+    /// Decides one registration. `shard_occupancy` is the current size of
+    /// the flow table of the shard that would own the flow.
+    pub fn decide(&self, budget_ms: u32, loss_tolerant: bool, shard_occupancy: usize) -> Admission {
+        let reg = Registration {
+            latency_budget: Dur::from_millis(u64::from(budget_ms)),
+            loss_tolerant,
+        };
+        let selection = self.selector.select(reg);
+        if self.strict && selection.estimated_latency > reg.latency_budget {
+            return Admission::Reject(RejectReason::BudgetInfeasible);
+        }
+        if shard_occupancy >= self.max_flows_per_shard {
+            return Admission::Reject(RejectReason::ShardFull);
+        }
+        Admission::Accept(selection)
+    }
+}
+
+/// The shard that owns `flow`: FNV-1a over the flow id, modulo the shard
+/// count.  Stable across relay and clients, uniform enough for load
+/// spreading.
+pub fn shard_for(flow: u32, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in flow.to_be_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jqos_core::select::ServiceKind;
+
+    fn wide_area() -> PathDelays {
+        PathDelays::symmetric(
+            Dur::from_millis(75),
+            Dur::from_millis(10),
+            Dur::from_millis(70),
+            Dur::from_millis(10),
+        )
+    }
+
+    #[test]
+    fn admission_matches_the_selector_for_feasible_budgets() {
+        let policy = AdmissionPolicy::new(wide_area(), true, 1024);
+        for (budget, want) in [
+            (150, ServiceKind::Coding),
+            (115, ServiceKind::Coding),
+            (100, ServiceKind::Caching),
+            (92, ServiceKind::Forwarding),
+            (90, ServiceKind::Forwarding),
+        ] {
+            match policy.decide(budget, false, 0) {
+                Admission::Accept(sel) => assert_eq!(sel.service, want, "budget {budget}"),
+                Admission::Reject(r) => panic!("budget {budget} rejected: {r}"),
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_is_rejected_in_strict_mode_only() {
+        let strict = AdmissionPolicy::new(wide_area(), true, 1024);
+        assert_eq!(
+            strict.decide(60, false, 0),
+            Admission::Reject(RejectReason::BudgetInfeasible)
+        );
+        // Lenient mode degrades to forwarding, like the simulator's selector.
+        let lenient = AdmissionPolicy::new(wide_area(), false, 1024);
+        match lenient.decide(60, false, 0) {
+            Admission::Accept(sel) => assert_eq!(sel.service, ServiceKind::Forwarding),
+            Admission::Reject(r) => panic!("lenient mode must admit: {r}"),
+        }
+    }
+
+    #[test]
+    fn full_shard_rejects_with_capacity_reason() {
+        let policy = AdmissionPolicy::new(wide_area(), true, 2);
+        assert!(matches!(policy.decide(150, false, 1), Admission::Accept(_)));
+        assert_eq!(
+            policy.decide(150, false, 2),
+            Admission::Reject(RejectReason::ShardFull)
+        );
+    }
+
+    #[test]
+    fn shard_hash_is_stable_and_in_range() {
+        for shards in [1, 2, 4, 7] {
+            for flow in 0..500u32 {
+                let s = shard_for(flow, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for(flow, shards), "stable");
+            }
+        }
+        // The hash actually spreads flows (no degenerate single-shard pile).
+        let mut counts = [0usize; 4];
+        for flow in 0..1000u32 {
+            counts[shard_for(flow, 4)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 150), "spread: {counts:?}");
+    }
+}

@@ -1,475 +1,42 @@
-//! # jqos-net — a live, tokio-based prototype of the J-QoS data path
+//! Live UDP prototype of the J-QoS data path.
 //!
-//! The paper's prototype (§5) runs in user space, carries application data
-//! and recovery traffic over UDP, and places relay processes inside data
-//! centers.  This crate is the equivalent runnable artifact for the
-//! reproduction: asynchronous UDP endpoints and a DC relay that can be
-//! deployed on real machines (or, for the `live_relay` example and the
-//! integration tests, on the loopback interface):
+//! The simulator (`netsim` + `jqos-core`) answers *what the overlay should
+//! do*; this crate answers *whether a real relay process can do it*.  It is
+//! a sharded, multi-tenant relay dataplane over real loopback sockets:
 //!
-//! * [`wire`] — the compact binary wire format for data, NACK and recovery
-//!   packets (a stand-in for the prototype's J-QoS encapsulation header);
-//! * [`DcRelay`] — the caching-service relay: it caches every packet copy it
-//!   receives and answers NACKs with the cached data (the forwarding service
-//!   falls out of the same loop by configuring `forward_to`);
-//! * [`LiveSender`] / [`LiveReceiver`] — end-point helpers that duplicate
-//!   outgoing packets toward the relay and perform receiver-driven gap
-//!   detection and NACKing, mirroring the simulator's sender/receiver nodes.
+//! * [`wire`] — the datagram format shared by relay and endpoints, now
+//!   including flow registration (`register(latency_budget)` → ack/nack);
+//! * [`admission`] — the live admission path, which runs the *same*
+//!   [`ServiceSelector`] logic the simulator uses to pick forwarding,
+//!   caching, or coding per flow, plus the FNV flow→shard partitioner;
+//! * [`shard`] — the per-shard worker loop: batched non-blocking reads,
+//!   a bounded ingress queue with explicit shedding, per-service packet
+//!   handling (forward / cache / encode parity) under a per-shard lock;
+//! * [`relay`] — the [`Relay`] server wiring it together: one control
+//!   socket for admission, N shard sockets/tasks, graceful shutdown with
+//!   queue drain;
+//! * [`metrics`] — per-shard counters and the [`RelayMetrics`] snapshot
+//!   (admissions, rejections by reason, sheds by reason, queue highwater,
+//!   per-flow service assignments);
+//! * [`client`] — [`LoadWorker`], a multiplexed load-generation endpoint
+//!   that drives hundreds of flows per socket with loss injection, NACK
+//!   recovery, parity reconstruction, and per-packet latency sampling.
 //!
-//! The deterministic evaluation lives in the simulator (`jqos-core`); this
-//! crate exists to demonstrate the same protocol logic on real sockets.
+//! Everything is bounded: ingress queues shed (and count) when full, cache
+//! and parity rings evict, the rejection history is capped.  Nothing on the
+//! datagram hot path takes a cross-shard lock.
+//!
+//! [`ServiceSelector`]: jqos_core::select::ServiceSelector
 
-use std::collections::HashMap;
-use std::net::SocketAddr;
-use std::sync::Arc;
-use std::time::Duration;
+pub mod admission;
+pub mod client;
+pub mod metrics;
+pub mod relay;
+pub mod shard;
+pub mod wire;
 
-use parking_lot::Mutex;
-use tokio::net::UdpSocket;
-
-pub mod wire {
-    //! Wire format: a 1-byte type tag, 4-byte flow id, 8-byte sequence
-    //! number, then the payload (for data/recovered packets).
-
-    /// Message types carried over UDP.
-    #[derive(Clone, Debug, PartialEq, Eq)]
-    pub enum WireMsg {
-        /// Application data (direct path or cloud copy).
-        Data {
-            /// Flow identifier.
-            flow: u32,
-            /// Sequence number.
-            seq: u64,
-            /// Application payload.
-            payload: Vec<u8>,
-        },
-        /// Receiver-driven negative acknowledgement.
-        Nack {
-            /// Flow identifier.
-            flow: u32,
-            /// Missing sequence number.
-            seq: u64,
-        },
-        /// A packet served back from the relay's cache.
-        Recovered {
-            /// Flow identifier.
-            flow: u32,
-            /// Sequence number.
-            seq: u64,
-            /// Application payload.
-            payload: Vec<u8>,
-        },
-    }
-
-    const TAG_DATA: u8 = 1;
-    const TAG_NACK: u8 = 2;
-    const TAG_RECOVERED: u8 = 3;
-
-    impl WireMsg {
-        /// Serialises the message.
-        pub fn encode(&self) -> Vec<u8> {
-            let (tag, flow, seq, payload) = match self {
-                WireMsg::Data { flow, seq, payload } => (TAG_DATA, *flow, *seq, Some(payload)),
-                WireMsg::Nack { flow, seq } => (TAG_NACK, *flow, *seq, None),
-                WireMsg::Recovered { flow, seq, payload } => {
-                    (TAG_RECOVERED, *flow, *seq, Some(payload))
-                }
-            };
-            let mut out = Vec::with_capacity(13 + payload.map(|p| p.len()).unwrap_or(0));
-            out.push(tag);
-            out.extend_from_slice(&flow.to_be_bytes());
-            out.extend_from_slice(&seq.to_be_bytes());
-            if let Some(p) = payload {
-                out.extend_from_slice(p);
-            }
-            out
-        }
-
-        /// Parses a message; returns `None` for malformed datagrams.
-        pub fn decode(buf: &[u8]) -> Option<WireMsg> {
-            if buf.len() < 13 {
-                return None;
-            }
-            let tag = buf[0];
-            let flow = u32::from_be_bytes(buf[1..5].try_into().ok()?);
-            let seq = u64::from_be_bytes(buf[5..13].try_into().ok()?);
-            let payload = buf[13..].to_vec();
-            match tag {
-                TAG_DATA => Some(WireMsg::Data { flow, seq, payload }),
-                TAG_NACK => Some(WireMsg::Nack { flow, seq }),
-                TAG_RECOVERED => Some(WireMsg::Recovered { flow, seq, payload }),
-                _ => None,
-            }
-        }
-    }
-
-    #[cfg(test)]
-    mod tests {
-        use super::*;
-
-        #[test]
-        fn round_trip_all_variants() {
-            for msg in [
-                WireMsg::Data {
-                    flow: 7,
-                    seq: 99,
-                    payload: vec![1, 2, 3],
-                },
-                WireMsg::Nack { flow: 1, seq: 5 },
-                WireMsg::Recovered {
-                    flow: 2,
-                    seq: 8,
-                    payload: vec![9; 100],
-                },
-            ] {
-                let bytes = msg.encode();
-                assert_eq!(WireMsg::decode(&bytes), Some(msg));
-            }
-        }
-
-        #[test]
-        fn malformed_datagrams_are_rejected() {
-            assert_eq!(WireMsg::decode(&[]), None);
-            assert_eq!(WireMsg::decode(&[1, 2, 3]), None);
-            assert_eq!(WireMsg::decode(&[9; 20]), None, "unknown tag");
-        }
-    }
-}
-
-use wire::WireMsg;
-
-/// Counters exported by the relay.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct RelayStats {
-    /// Cloud copies received and cached.
-    pub cached: u64,
-    /// NACKs received.
-    pub nacks: u64,
-    /// Recoveries served from the cache.
-    pub recoveries: u64,
-    /// Packets forwarded onward (forwarding service).
-    pub forwarded: u64,
-}
-
-/// Relay-side cache of packet payloads keyed by `(flow, seq)`.
-type PacketCache = HashMap<(u32, u64), Vec<u8>>;
-
-/// A DC relay process: caches cloud copies and serves NACKs (caching
-/// service); optionally forwards every copy to a downstream address
-/// (forwarding service).
-pub struct DcRelay {
-    socket: Arc<UdpSocket>,
-    cache: Arc<Mutex<PacketCache>>,
-    stats: Arc<Mutex<RelayStats>>,
-    forward_to: Option<SocketAddr>,
-    cache_capacity: usize,
-}
-
-impl DcRelay {
-    /// Binds a relay on `addr` (use port 0 for an ephemeral port).
-    pub async fn bind(addr: &str, forward_to: Option<SocketAddr>) -> std::io::Result<Self> {
-        let socket = UdpSocket::bind(addr).await?;
-        Ok(DcRelay {
-            socket: Arc::new(socket),
-            cache: Arc::new(Mutex::new(HashMap::new())),
-            stats: Arc::new(Mutex::new(RelayStats::default())),
-            forward_to,
-            cache_capacity: 65_536,
-        })
-    }
-
-    /// The address the relay is listening on.
-    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
-        self.socket.local_addr()
-    }
-
-    /// Current counters.
-    pub fn stats(&self) -> RelayStats {
-        *self.stats.lock()
-    }
-
-    /// Runs the relay loop until the task is aborted.
-    pub async fn run(&self) -> std::io::Result<()> {
-        let mut buf = vec![0u8; 65_536];
-        loop {
-            let (len, from) = self.socket.recv_from(&mut buf).await?;
-            let Some(msg) = WireMsg::decode(&buf[..len]) else {
-                continue;
-            };
-            match msg {
-                WireMsg::Data { flow, seq, payload } => {
-                    {
-                        let mut cache = self.cache.lock();
-                        if cache.len() >= self.cache_capacity {
-                            cache.clear();
-                        }
-                        cache.insert((flow, seq), payload.clone());
-                    }
-                    self.stats.lock().cached += 1;
-                    if let Some(next) = self.forward_to {
-                        self.stats.lock().forwarded += 1;
-                        let fwd = WireMsg::Data { flow, seq, payload };
-                        self.socket.send_to(&fwd.encode(), next).await?;
-                    }
-                }
-                WireMsg::Nack { flow, seq } => {
-                    self.stats.lock().nacks += 1;
-                    let cached = self.cache.lock().get(&(flow, seq)).cloned();
-                    if let Some(payload) = cached {
-                        self.stats.lock().recoveries += 1;
-                        let reply = WireMsg::Recovered { flow, seq, payload };
-                        self.socket.send_to(&reply.encode(), from).await?;
-                    }
-                }
-                WireMsg::Recovered { .. } => {}
-            }
-        }
-    }
-}
-
-/// The sending endpoint: transmits data packets to the receiver and (per the
-/// duplication policy) a copy to the DC relay.
-pub struct LiveSender {
-    socket: UdpSocket,
-    receiver: SocketAddr,
-    relay: Option<SocketAddr>,
-    flow: u32,
-    next_seq: u64,
-}
-
-impl LiveSender {
-    /// Creates a sender bound to an ephemeral local port.
-    pub async fn new(
-        receiver: SocketAddr,
-        relay: Option<SocketAddr>,
-        flow: u32,
-    ) -> std::io::Result<Self> {
-        Ok(LiveSender {
-            socket: UdpSocket::bind("127.0.0.1:0").await?,
-            receiver,
-            relay,
-            flow,
-            next_seq: 0,
-        })
-    }
-
-    /// Sends one application packet.  `drop_direct` suppresses the direct
-    /// copy, which is how the loopback demo injects "Internet" loss.
-    pub async fn send(&mut self, payload: &[u8], drop_direct: bool) -> std::io::Result<u64> {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let msg = WireMsg::Data {
-            flow: self.flow,
-            seq,
-            payload: payload.to_vec(),
-        };
-        let bytes = msg.encode();
-        if !drop_direct {
-            self.socket.send_to(&bytes, self.receiver).await?;
-        }
-        if let Some(relay) = self.relay {
-            self.socket.send_to(&bytes, relay).await?;
-        }
-        Ok(seq)
-    }
-}
-
-/// Counters exported by the receiving endpoint.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ReceiverStats {
-    /// Packets received on the direct path.
-    pub direct: u64,
-    /// Packets recovered through the relay.
-    pub recovered: u64,
-    /// NACKs sent.
-    pub nacks_sent: u64,
-}
-
-/// The receiving endpoint: detects sequence gaps and recovers missing packets
-/// from the DC relay.
-pub struct LiveReceiver {
-    socket: UdpSocket,
-    relay: SocketAddr,
-    expected: HashMap<u32, u64>,
-    received: HashMap<(u32, u64), Vec<u8>>,
-    stats: ReceiverStats,
-}
-
-impl LiveReceiver {
-    /// Binds a receiver on `addr` (use port 0 for an ephemeral port).
-    pub async fn bind(addr: &str, relay: SocketAddr) -> std::io::Result<Self> {
-        Ok(LiveReceiver {
-            socket: UdpSocket::bind(addr).await?,
-            relay,
-            expected: HashMap::new(),
-            received: HashMap::new(),
-            stats: ReceiverStats::default(),
-        })
-    }
-
-    /// The address the receiver is listening on.
-    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
-        self.socket.local_addr()
-    }
-
-    /// Current counters.
-    pub fn stats(&self) -> ReceiverStats {
-        self.stats
-    }
-
-    /// Whether a given packet has been received (by any path).
-    pub fn has(&self, flow: u32, seq: u64) -> bool {
-        self.received.contains_key(&(flow, seq))
-    }
-
-    /// Processes incoming datagrams until `deadline` elapses with no traffic,
-    /// NACKing any sequence gaps it observes.
-    pub async fn run_until_idle(&mut self, idle: Duration) -> std::io::Result<()> {
-        let mut buf = vec![0u8; 65_536];
-        loop {
-            let recv = tokio::time::timeout(idle, self.socket.recv_from(&mut buf)).await;
-            let (len, _from) = match recv {
-                Ok(r) => r?,
-                Err(_) => return Ok(()), // idle: demo/test is over
-            };
-            let Some(msg) = WireMsg::decode(&buf[..len]) else {
-                continue;
-            };
-            match msg {
-                WireMsg::Data { flow, seq, payload } => {
-                    self.stats.direct += 1;
-                    self.note_arrival(flow, seq, payload).await?;
-                }
-                WireMsg::Recovered { flow, seq, payload } => {
-                    if !self.received.contains_key(&(flow, seq)) {
-                        self.stats.recovered += 1;
-                        self.received.insert((flow, seq), payload);
-                    }
-                }
-                WireMsg::Nack { .. } => {}
-            }
-        }
-    }
-
-    async fn note_arrival(&mut self, flow: u32, seq: u64, payload: Vec<u8>) -> std::io::Result<()> {
-        self.received.insert((flow, seq), payload);
-        let expected = self.expected.entry(flow).or_insert(0);
-        if seq > *expected {
-            // Gap: ask the relay for everything we skipped (§3.4's simple case).
-            for missing in *expected..seq {
-                if !self.received.contains_key(&(flow, missing)) {
-                    self.stats.nacks_sent += 1;
-                    let nack = WireMsg::Nack { flow, seq: missing };
-                    self.socket.send_to(&nack.encode(), self.relay).await?;
-                }
-            }
-        }
-        if seq >= *expected {
-            *expected = seq + 1;
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// End-to-end loopback test of the live caching-service path: the sender
-    /// drops every fifth packet on the "Internet" path, and the receiver
-    /// recovers it from the relay.
-    #[tokio::test]
-    async fn loopback_recovery_via_relay() {
-        let relay = DcRelay::bind("127.0.0.1:0", None).await.unwrap();
-        let relay_addr = relay.local_addr().unwrap();
-        let relay = Arc::new(relay);
-        let relay_task = {
-            let relay = relay.clone();
-            tokio::spawn(async move { relay.run().await })
-        };
-
-        let mut receiver = LiveReceiver::bind("127.0.0.1:0", relay_addr).await.unwrap();
-        let receiver_addr = receiver.local_addr().unwrap();
-
-        let mut sender = LiveSender::new(receiver_addr, Some(relay_addr), 1)
-            .await
-            .unwrap();
-        let send_task = tokio::spawn(async move {
-            for seq in 0..50u64 {
-                let drop_direct = seq % 5 == 4;
-                sender
-                    .send(format!("packet-{seq}").as_bytes(), drop_direct)
-                    .await
-                    .unwrap();
-                tokio::time::sleep(Duration::from_millis(2)).await;
-            }
-        });
-
-        receiver
-            .run_until_idle(Duration::from_millis(300))
-            .await
-            .unwrap();
-        send_task.await.unwrap();
-        relay_task.abort();
-
-        let stats = receiver.stats();
-        assert_eq!(stats.direct, 40, "4 of every 5 packets arrive directly");
-        assert!(
-            stats.recovered >= 9,
-            "dropped packets recovered via the relay: {stats:?}"
-        );
-        assert!(stats.nacks_sent >= 9);
-        // Every packet except possibly the trailing dropped one is present.
-        for seq in 0..49u64 {
-            assert!(receiver.has(1, seq), "packet {seq} missing");
-        }
-        let relay_stats = relay.stats();
-        assert_eq!(relay_stats.cached, 50);
-        assert!(relay_stats.recoveries >= 9);
-    }
-
-    /// The forwarding-service configuration: the relay forwards every copy to
-    /// the receiver, so even with the direct path fully down everything
-    /// arrives.
-    #[tokio::test]
-    async fn loopback_forwarding_masks_direct_path_outage() {
-        let mut receiver_socketless =
-            LiveReceiver::bind("127.0.0.1:0", "127.0.0.1:9".parse().unwrap())
-                .await
-                .unwrap();
-        let receiver_addr = receiver_socketless.local_addr().unwrap();
-
-        let relay = DcRelay::bind("127.0.0.1:0", Some(receiver_addr))
-            .await
-            .unwrap();
-        let relay_addr = relay.local_addr().unwrap();
-        let relay = Arc::new(relay);
-        let relay_task = {
-            let relay = relay.clone();
-            tokio::spawn(async move { relay.run().await })
-        };
-
-        let mut sender = LiveSender::new(receiver_addr, Some(relay_addr), 2)
-            .await
-            .unwrap();
-        let send_task = tokio::spawn(async move {
-            for seq in 0..30u64 {
-                // The direct path is completely down.
-                sender.send(&[seq as u8; 64], true).await.unwrap();
-                tokio::time::sleep(Duration::from_millis(1)).await;
-            }
-        });
-
-        receiver_socketless
-            .run_until_idle(Duration::from_millis(300))
-            .await
-            .unwrap();
-        send_task.await.unwrap();
-        relay_task.abort();
-
-        for seq in 0..30u64 {
-            assert!(receiver_socketless.has(2, seq), "packet {seq} missing");
-        }
-        assert_eq!(relay.stats().forwarded, 30);
-    }
-}
+pub use admission::{shard_for, Admission, AdmissionPolicy};
+pub use client::{FlowSpec, FlowView, LoadWorker, WorkerStats};
+pub use metrics::{FlowInfo, RelayMetrics, ShardSnapshot, ShedReason};
+pub use relay::{Relay, RelayConfig};
+pub use wire::{RejectReason, WireMsg};

@@ -1,61 +1,88 @@
-//! Live loopback deployment of the J-QoS caching service (tokio prototype).
+//! Live loopback deployment of the sharded J-QoS relay (tokio prototype).
 //!
-//! Starts a DC relay, a receiver and a sender on real UDP sockets bound to
-//! 127.0.0.1.  The sender drops one in four packets on the "Internet" path;
-//! the receiver detects the gaps and recovers the missing packets from the
-//! relay, exactly as the simulator's caching service does.
+//! Starts a 2-shard relay on real UDP sockets, registers a handful of flows
+//! over the wire — each with a latency budget, so the relay's admission path
+//! runs the same service selection as the simulator — and drives paced
+//! traffic with direct-path loss injection.  Caching flows recover their
+//! losses from the shard's cache ring via NACKs; coding flows reconstruct
+//! them from parity; forwarding flows ride the overlay entirely; and one
+//! deliberately infeasible budget is rejected with a reason code.
 //!
 //! Run with: `cargo run --example live_relay`
 
-use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use jqos_net::{DcRelay, LiveReceiver, LiveSender};
+use jqos::net::{FlowSpec, LoadWorker, Relay, RelayConfig};
 
 #[tokio::main(flavor = "multi_thread", worker_threads = 2)]
 async fn main() -> std::io::Result<()> {
-    // The DC relay (caching service).
-    let relay = Arc::new(DcRelay::bind("127.0.0.1:0", None).await?);
-    let relay_addr = relay.local_addr()?;
-    println!("DC relay listening on {relay_addr}");
-    let relay_task = {
-        let relay = relay.clone();
-        tokio::spawn(async move { relay.run().await })
-    };
+    let mut relay = Relay::bind("127.0.0.1:0", RelayConfig::default()).await?;
+    relay.start();
+    let control = relay.control_addr()?;
+    println!("relay control socket on {control}");
+    println!("shard dataplane sockets: {:?}", relay.shard_addrs());
 
-    // The receiving end host.
-    let mut receiver = LiveReceiver::bind("127.0.0.1:0", relay_addr).await?;
-    let receiver_addr = receiver.local_addr()?;
-    println!("receiver listening on {receiver_addr}");
-
-    // The sending end host: 200 packets, dropping every 4th on the direct path.
-    let mut sender = LiveSender::new(receiver_addr, Some(relay_addr), 1).await?;
-    let send_task = tokio::spawn(async move {
-        for seq in 0..200u64 {
-            let drop_direct = seq % 4 == 3;
-            sender
-                .send(format!("frame {seq}").as_bytes(), drop_direct)
-                .await
-                .expect("send");
-            tokio::time::sleep(Duration::from_millis(5)).await;
+    let mut worker = LoadWorker::new(control, Instant::now(), 64)?;
+    // (flow, budget ms, direct-path drop period): budgets steer admission.
+    for (flow, budget_ms, drop_every) in [
+        (1u32, 150u32, Some(8)), // coding
+        (2, 100, Some(4)),       // caching
+        (3, 91, None),           // forwarding
+        (4, 60, None),           // infeasible: rejected
+    ] {
+        worker.add_flow(FlowSpec {
+            flow,
+            budget_ms,
+            loss_tolerant: false,
+            drop_every,
+        });
+    }
+    worker.register(Duration::from_secs(5))?;
+    for flow in worker.flow_ids() {
+        let view = worker.flow_view(flow).unwrap();
+        match view.rejected {
+            Some(reason) => println!("flow {flow}: rejected ({reason})"),
+            None => println!("flow {flow}: admitted as {:?}", view.service.unwrap()),
         }
-    });
+    }
 
-    receiver.run_until_idle(Duration::from_millis(500)).await?;
-    send_task.await.expect("sender task");
-    relay_task.abort();
-
-    let stats = receiver.stats();
-    let relay_stats = relay.stats();
     println!();
-    println!("direct-path deliveries : {}", stats.direct);
-    println!("NACKs sent             : {}", stats.nacks_sent);
-    println!("recovered via the DC   : {}", stats.recovered);
+    println!("pacing 48 packets per admitted flow with loss injection...");
+    worker.run_paced(48, Duration::from_millis(5), Duration::from_millis(500))?;
+
+    println!();
+    for flow in worker.flow_ids() {
+        let view = worker.flow_view(flow).unwrap();
+        if view.service.is_none() {
+            continue;
+        }
+        println!(
+            "flow {flow} ({:?}): {}/{} delivered, {} cache-recovered, {} parity-reconstructed",
+            view.service.unwrap(),
+            view.delivered,
+            view.sent,
+            view.recovered,
+            view.reconstructed
+        );
+    }
+
+    let metrics = relay.shutdown().await;
+    let totals = metrics.totals();
+    println!();
     println!(
-        "relay cache size       : {} packets cached, {} recoveries served",
-        relay_stats.cached, relay_stats.recoveries
+        "relay: {} data packets over {} shards; {} forwarded, {} cached, {} batches encoded",
+        totals.data_rx,
+        metrics.shards.len(),
+        totals.forwarded,
+        totals.cached,
+        totals.batches_encoded
     );
-    let complete = (0..199u64).filter(|s| receiver.has(1, *s)).count();
-    println!("packets present at app : {complete}/199 (the trailing drop cannot be gap-detected)");
+    println!(
+        "       {} recoveries + {} parity shards served; {} flows admitted, {} rejected",
+        totals.recoveries_served,
+        totals.parity_served,
+        metrics.admitted,
+        metrics.rejected_budget + metrics.rejected_shard_full
+    );
     Ok(())
 }

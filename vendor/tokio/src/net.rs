@@ -10,9 +10,13 @@ use crate::time::POLL_SLICE;
 
 /// A UDP socket usable from async code.
 ///
-/// Reads use a short OS-level read timeout: a pending `recv_from` blocks its
-/// task thread for one slice, then re-polls.  Sends go straight through (UDP
-/// sends do not meaningfully block).
+/// The inner std socket runs in non-blocking mode.  A pending `recv_from`
+/// parks its task thread for one poll slice, then re-polls; this keeps the
+/// stand-in reactor-free while still letting callers drain bursts without
+/// syscalls blocking in between.  The non-async [`UdpSocket::try_recv_from`]
+/// and [`UdpSocket::try_send_to`] expose the non-blocking socket directly so
+/// hot loops (the `jqos-net` relay shards) can batch many datagrams per
+/// wakeup and observe egress back-pressure explicitly.
 pub struct UdpSocket {
     inner: std::net::UdpSocket,
 }
@@ -22,7 +26,7 @@ impl UdpSocket {
     /// port).
     pub async fn bind(addr: &str) -> io::Result<UdpSocket> {
         let inner = std::net::UdpSocket::bind(addr)?;
-        inner.set_read_timeout(Some(POLL_SLICE))?;
+        inner.set_nonblocking(true)?;
         Ok(UdpSocket { inner })
     }
 
@@ -39,9 +43,50 @@ impl UdpSocket {
         }
     }
 
-    /// Sends one datagram to `target`.
+    /// Non-blocking receive: returns `Ok(None)` when no datagram is queued.
+    ///
+    /// This is the batching primitive: after an awaited [`recv_from`]
+    /// delivers the first datagram of a wakeup, callers drain the rest of
+    /// the burst with `try_recv_from` until it reports an empty queue.
+    ///
+    /// [`recv_from`]: UdpSocket::recv_from
+    pub fn try_recv_from(&self, buf: &mut [u8]) -> io::Result<Option<(usize, SocketAddr)>> {
+        match self.inner.recv_from(buf) {
+            Ok(ok) => Ok(Some(ok)),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Sends one datagram to `target`, retrying while the send buffer is
+    /// full (which effectively never happens for loopback UDP).
     pub async fn send_to(&self, buf: &[u8], target: SocketAddr) -> io::Result<usize> {
-        self.inner.send_to(buf, target)
+        loop {
+            match self.try_send_to(buf, target) {
+                Ok(Some(n)) => return Ok(n),
+                Ok(None) => crate::time::sleep(POLL_SLICE).await,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Non-blocking send: returns `Ok(None)` when the socket buffer is full
+    /// (the datagram is *not* sent — callers count this as back-pressure
+    /// shedding rather than silently dropping).
+    pub fn try_send_to(&self, buf: &[u8], target: SocketAddr) -> io::Result<Option<usize>> {
+        match self.inner.send_to(buf, target) {
+            Ok(n) => Ok(Some(n)),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -58,11 +103,13 @@ impl Future for RecvFrom<'_> {
         let me = self.get_mut();
         match me.socket.recv_from(me.buf) {
             Ok(ok) => Poll::Ready(Ok(ok)),
-            // The read timeout surfaces as WouldBlock or TimedOut depending
-            // on the platform; both just mean "nothing yet".
+            // Nothing queued yet: park this task thread for one slice, then
+            // re-poll (the stand-in has no reactor to register interest
+            // with; see the crate docs).
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
+                std::thread::sleep(POLL_SLICE);
                 cx.waker().wake_by_ref();
                 Poll::Pending
             }
@@ -98,6 +145,29 @@ mod tests {
             let mut buf = [0u8; 16];
             let r = crate::time::timeout(Duration::from_millis(30), sock.recv_from(&mut buf)).await;
             assert!(r.is_err(), "no sender, so the timeout must fire");
+        });
+    }
+
+    #[test]
+    fn try_recv_drains_a_burst_without_blocking() {
+        block_on(async {
+            let a = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let b = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let b_addr = b.local_addr().unwrap();
+            for i in 0..5u8 {
+                a.send_to(&[i], b_addr).await.unwrap();
+            }
+            // First datagram via the awaited path, the rest via try_recv.
+            let mut buf = [0u8; 16];
+            let (len, _) = b.recv_from(&mut buf).await.unwrap();
+            assert_eq!((len, buf[0]), (1, 0));
+            let mut drained = Vec::new();
+            while let Some((len, _)) = b.try_recv_from(&mut buf).unwrap() {
+                assert_eq!(len, 1);
+                drained.push(buf[0]);
+            }
+            assert_eq!(drained, vec![1, 2, 3, 4]);
+            assert!(b.try_recv_from(&mut buf).unwrap().is_none());
         });
     }
 }
