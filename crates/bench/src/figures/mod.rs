@@ -13,7 +13,9 @@
 //! | `65`        | [`sec65`] — mobile feasibility                   |
 //! | `66`        | [`sec66`] — deployment cost + coding overhead    |
 //! | `fleet`     | [`fleet`] — DC-fleet failover control plane      |
+//! | `city`      | [`city`] — city-scale populations by flow class  |
 
+pub mod city;
 pub mod fig10;
 pub mod fig7;
 pub mod fig8;
@@ -24,7 +26,7 @@ pub mod sec65;
 pub mod sec66;
 
 /// The figure ids `run_figure` accepts.
-pub const FIGURE_IDS: [&str; 8] = ["7", "8", "9a", "9b", "10", "65", "66", "fleet"];
+pub const FIGURE_IDS: [&str; 9] = ["7", "8", "9a", "9b", "10", "65", "66", "fleet", "city"];
 
 /// Runs the suite behind one figure id on `threads` sweep workers.  Returns
 /// `false` for an unknown id.
@@ -42,6 +44,7 @@ pub fn run_figure(fig: &str, threads: usize) -> bool {
         "65" | "6.5" => sec65::run(threads),
         "66" | "6.6" => sec66::run(threads),
         "fleet" => fleet::run(threads),
+        "city" => city::run(threads),
         _ => return false,
     }
     true

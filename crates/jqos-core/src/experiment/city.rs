@@ -1,0 +1,99 @@
+//! The city axis of population-scale sweeps.
+//!
+//! A "city" point models 10^5–10^6 users whose flows are partitioned into
+//! classes (service × region pair × workload model) by the population engine
+//! in the `workloads` crate.  This module holds only the *axis data* — what
+//! varies between city sweep points — so the sweep grid (and everything
+//! below it) stays free of a dependency on the workload layer: the grid
+//! carries a [`CityAxis`] per point, and the `workloads::population` runner
+//! interprets it.
+
+/// How strongly flash-crowd episodes perturb the arrival process of a city
+/// point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlashCrowdLevel {
+    /// No flash crowds: arrivals follow the diurnal curve alone.
+    None,
+    /// Episodes confined to a single region (a local event).
+    Regional,
+    /// Episodes hitting every region at once (a global event).
+    Global,
+}
+
+impl FlashCrowdLevel {
+    /// Short label used in point labels and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlashCrowdLevel::None => "none",
+            FlashCrowdLevel::Regional => "regional",
+            FlashCrowdLevel::Global => "global",
+        }
+    }
+}
+
+impl std::fmt::Display for FlashCrowdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The city axis of a sweep grid: everything that varies between city sweep
+/// points besides the usual seed/loss/mix/coding axes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CityAxis {
+    /// Number of modeled users in the city.
+    pub population: u64,
+    /// Shift applied to every region's local diurnal clock, in hours
+    /// (sweeping this moves the observation window around the peak).
+    pub diurnal_phase_hours: f64,
+    /// Flash-crowd regime of the point.
+    pub flash_crowd: FlashCrowdLevel,
+}
+
+impl Default for CityAxis {
+    fn default() -> Self {
+        CityAxis {
+            population: 100_000,
+            diurnal_phase_hours: 0.0,
+            flash_crowd: FlashCrowdLevel::None,
+        }
+    }
+}
+
+impl CityAxis {
+    /// Compact label such as `c100k-ph8-fcregional` used by the sweep
+    /// harness when building axis entries.
+    pub fn label(&self) -> String {
+        let pop = if self.population.is_multiple_of(1_000_000) && self.population > 0 {
+            format!("{}m", self.population / 1_000_000)
+        } else if self.population.is_multiple_of(1_000) && self.population > 0 {
+            format!("{}k", self.population / 1_000)
+        } else {
+            format!("{}", self.population)
+        };
+        format!(
+            "c{pop}-ph{}-fc{}",
+            self.diurnal_phase_hours as i64,
+            self.flash_crowd.label()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_compact_and_distinct() {
+        let a = CityAxis::default();
+        assert_eq!(a.label(), "c100k-ph0-fcnone");
+        let b = CityAxis {
+            population: 1_000_000,
+            diurnal_phase_hours: 8.0,
+            flash_crowd: FlashCrowdLevel::Global,
+        };
+        assert_eq!(b.label(), "c1m-ph8-fcglobal");
+        assert_ne!(a.label(), b.label());
+        assert_eq!(FlashCrowdLevel::Regional.to_string(), "regional");
+    }
+}

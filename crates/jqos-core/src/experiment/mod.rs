@@ -11,10 +11,13 @@
 //! The [`sweep`] submodule turns single scenarios into declarative grids
 //! ([`sweep::SweepGrid`]) executed in parallel by [`sweep::ExperimentSuite`].
 
+pub mod city;
 pub mod sweep;
 
+use std::collections::BTreeMap;
+
 use netsim::prelude::*;
-use netsim::trace::{DeliveryTrace, EpisodeBreakdown};
+use netsim::trace::EpisodeBreakdown;
 
 use crate::coding::params::CodingParams;
 use crate::nodes::dc1::Dc1Node;
@@ -190,11 +193,13 @@ impl Scenario {
         sim.run_for(duration);
         sim.run_for(rtt * 4 + Dur::from_millis(500));
 
-        // Collect per-flow reports.  The delivery trace is recycled across
-        // flows (cleared, not re-allocated) since only its episode breakdown
-        // outlives the loop.
+        // Collect per-flow reports.  The delivery list is folded into a map
+        // once per flow (first record per sequence wins, matching the
+        // receiver's first-arrival semantics) so the per-packet lookups below
+        // are O(log n) instead of a linear scan per sent packet.
         let mut flows = Vec::new();
-        let mut trace = DeliveryTrace::new();
+        let mut delivery_map: BTreeMap<SeqNo, crate::nodes::receiver::DeliveryRecord> =
+            BTreeMap::new();
         for w in &wirings {
             let (sent_log, sender_stats) = {
                 let s = sim.node_as::<SenderNode>(w.sender);
@@ -209,14 +214,13 @@ impl Scenario {
                 )
             };
 
-            trace.clear();
+            delivery_map.clear();
+            for (seq, record) in &deliveries {
+                delivery_map.entry(*seq).or_insert(*record);
+            }
             let mut packets = Vec::with_capacity(sent_log.len());
             for (seq, sent_at, size) in &sent_log {
-                trace.record_sent(*seq, *sent_at);
-                let delivery = deliveries.iter().find(|(s, _)| s == seq).map(|(_, d)| *d);
-                if let Some(d) = delivery {
-                    trace.record_delivered(*seq, d.delivered_at);
-                }
+                let delivery = delivery_map.get(seq).copied();
                 packets.push(PacketOutcome {
                     seq: *seq,
                     sent_at: *sent_at,
@@ -241,7 +245,7 @@ impl Scenario {
                 cloud_bytes: sender_stats.cloud_bytes,
                 episode_breakdown: direct_path_breakdown(&packets_direct_view(
                     &sent_log,
-                    &deliveries,
+                    &delivery_map,
                 )),
             });
         }
@@ -264,15 +268,14 @@ impl Scenario {
 /// count as direct-path losses.
 fn packets_direct_view(
     sent_log: &[(SeqNo, Time, usize)],
-    deliveries: &[(SeqNo, crate::nodes::receiver::DeliveryRecord)],
+    deliveries: &BTreeMap<SeqNo, crate::nodes::receiver::DeliveryRecord>,
 ) -> Vec<(u64, bool)> {
     sent_log
         .iter()
         .map(|(seq, _, _)| {
             let direct = deliveries
-                .iter()
-                .find(|(s, _)| s == seq)
-                .map(|(_, d)| d.method == DeliveryMethod::Direct)
+                .get(seq)
+                .map(|d| d.method == DeliveryMethod::Direct)
                 .unwrap_or(false);
             (*seq, direct)
         })

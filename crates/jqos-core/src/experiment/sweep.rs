@@ -28,6 +28,7 @@ use netsim::stats::{PointStats, SweepReport};
 use rand::rngs::SmallRng;
 
 use crate::coding::params::CodingParams;
+use crate::experiment::city::CityAxis;
 use crate::fleet::FleetAxis;
 use crate::select::ServiceKind;
 
@@ -75,6 +76,7 @@ pub struct SweepGrid {
     mixes: Vec<AxisEntry<Vec<ServiceKind>>>,
     coding: Vec<AxisEntry<CodingParams>>,
     fleet: Vec<AxisEntry<FleetAxis>>,
+    city: Vec<AxisEntry<CityAxis>>,
     variants: Vec<AxisEntry<u64>>,
 }
 
@@ -85,7 +87,7 @@ impl Default for SweepGrid {
 }
 
 impl SweepGrid {
-    /// A 1×1×1×1×1×1 grid (one point, all axes neutral).
+    /// A 1×1×1×1×1×1×1 grid (one point, all axes neutral).
     pub fn new() -> Self {
         SweepGrid {
             seeds: vec![0],
@@ -93,6 +95,7 @@ impl SweepGrid {
             mixes: axis(vec![(String::new(), Vec::new())]),
             coding: axis(vec![(String::new(), CodingParams::default())]),
             fleet: axis(vec![(String::new(), FleetAxis::default())]),
+            city: axis(vec![(String::new(), CityAxis::default())]),
             variants: axis(vec![(String::new(), 0)]),
         }
     }
@@ -139,6 +142,14 @@ impl SweepGrid {
         self
     }
 
+    /// Replaces the city axis (population size, diurnal phase, flash-crowd
+    /// regime of population-scale scenarios).
+    pub fn city_configs(mut self, entries: Vec<(impl Into<String>, CityAxis)>) -> Self {
+        assert!(!entries.is_empty(), "city axis must not be empty");
+        self.city = axis(entries.into_iter().map(|(l, v)| (l.into(), v)).collect());
+        self
+    }
+
     /// Replaces the free variant axis (figure-specific: a path index, an
     /// engine thread count, a configuration id, ...).
     pub fn variants(mut self, entries: Vec<(impl Into<String>, u64)>) -> Self {
@@ -154,6 +165,7 @@ impl SweepGrid {
             * self.mixes.len()
             * self.coding.len()
             * self.fleet.len()
+            * self.city.len()
             * self.variants.len()
     }
 
@@ -167,32 +179,37 @@ impl SweepGrid {
     fn points(&self, master_seed: u64) -> Vec<SweepPoint> {
         let mut out = Vec::with_capacity(self.len());
         for (variant_idx, variant) in self.variants.iter().enumerate() {
-            for (fleet_idx, fleet) in self.fleet.iter().enumerate() {
-                for (coding_idx, coding) in self.coding.iter().enumerate() {
-                    for (mix_idx, mix) in self.mixes.iter().enumerate() {
-                        for (loss_idx, loss) in self.loss.iter().enumerate() {
-                            for (seed_idx, &seed) in self.seeds.iter().enumerate() {
-                                out.push(SweepPoint {
-                                    index: out.len(),
-                                    master_seed,
-                                    seed,
-                                    seed_idx,
-                                    loss: loss.value.clone(),
-                                    loss_label: loss.label.clone(),
-                                    loss_idx,
-                                    mix: mix.value.clone(),
-                                    mix_label: mix.label.clone(),
-                                    mix_idx,
-                                    coding: coding.value,
-                                    coding_label: coding.label.clone(),
-                                    coding_idx,
-                                    fleet: fleet.value.clone(),
-                                    fleet_label: fleet.label.clone(),
-                                    fleet_idx,
-                                    variant: variant.value,
-                                    variant_label: variant.label.clone(),
-                                    variant_idx,
-                                });
+            for (city_idx, city) in self.city.iter().enumerate() {
+                for (fleet_idx, fleet) in self.fleet.iter().enumerate() {
+                    for (coding_idx, coding) in self.coding.iter().enumerate() {
+                        for (mix_idx, mix) in self.mixes.iter().enumerate() {
+                            for (loss_idx, loss) in self.loss.iter().enumerate() {
+                                for (seed_idx, &seed) in self.seeds.iter().enumerate() {
+                                    out.push(SweepPoint {
+                                        index: out.len(),
+                                        master_seed,
+                                        seed,
+                                        seed_idx,
+                                        loss: loss.value.clone(),
+                                        loss_label: loss.label.clone(),
+                                        loss_idx,
+                                        mix: mix.value.clone(),
+                                        mix_label: mix.label.clone(),
+                                        mix_idx,
+                                        coding: coding.value,
+                                        coding_label: coding.label.clone(),
+                                        coding_idx,
+                                        fleet: fleet.value.clone(),
+                                        fleet_label: fleet.label.clone(),
+                                        fleet_idx,
+                                        city: city.value,
+                                        city_label: city.label.clone(),
+                                        city_idx,
+                                        variant: variant.value,
+                                        variant_label: variant.label.clone(),
+                                        variant_idx,
+                                    });
+                                }
                             }
                         }
                     }
@@ -238,6 +255,12 @@ pub struct SweepPoint {
     pub fleet_label: String,
     /// Index into the fleet axis.
     pub fleet_idx: usize,
+    /// City axis value (population, diurnal phase, flash-crowd regime).
+    pub city: CityAxis,
+    /// City axis label.
+    pub city_label: String,
+    /// Index into the city axis.
+    pub city_idx: usize,
     /// Free-axis value.
     pub variant: u64,
     /// Free-axis label.
@@ -280,6 +303,7 @@ impl SweepPoint {
         let mut parts: Vec<String> = Vec::new();
         for axis_label in [
             &self.variant_label,
+            &self.city_label,
             &self.fleet_label,
             &self.coding_label,
             &self.mix_label,
@@ -629,6 +653,33 @@ mod tests {
         assert!(!points[6].fleet.failures.is_empty());
         assert_eq!(points[12].variant_label, "b");
         assert_eq!(points[0].label(), "a/f3/p1/s1");
+    }
+
+    #[test]
+    fn city_axis_multiplies_the_grid_between_variants_and_fleet() {
+        use crate::experiment::city::{CityAxis, FlashCrowdLevel};
+        let grid = demo_grid().city_configs(vec![
+            ("c100k-ph0-fcnone", CityAxis::default()),
+            (
+                "c1m-ph8-fcglobal",
+                CityAxis {
+                    population: 1_000_000,
+                    diurnal_phase_hours: 8.0,
+                    flash_crowd: FlashCrowdLevel::Global,
+                },
+            ),
+        ]);
+        assert_eq!(grid.len(), 24);
+        let points = grid.points(9);
+        // City sits between variants (outermost) and fleet: for variant "a"
+        // the first 6 points are the 100k city, the next 6 the 1m city.
+        assert_eq!(points[0].city_label, "c100k-ph0-fcnone");
+        assert_eq!(points[5].city.population, 100_000);
+        assert_eq!(points[6].city_label, "c1m-ph8-fcglobal");
+        assert_eq!(points[6].city.population, 1_000_000);
+        assert_eq!(points[6].city.flash_crowd, FlashCrowdLevel::Global);
+        assert_eq!(points[12].variant_label, "b");
+        assert_eq!(points[0].label(), "a/c100k-ph0-fcnone/p1/s1");
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod recovery;
 pub mod select;
 pub mod services;
 
+pub use experiment::city::{CityAxis, FlashCrowdLevel};
 pub use experiment::sweep::{
     default_intra_threads, default_threads, run_link_groups, ExperimentSuite, SuiteReport,
     SweepGrid, SweepPoint,
@@ -58,6 +59,7 @@ pub use select::{PathDelays, Registration, Selection, ServiceKind, ServiceSelect
 pub mod prelude {
     pub use crate::coding::params::CodingParams;
     pub use crate::cost::{CostModel, Pricing, WorkloadProfile};
+    pub use crate::experiment::city::{CityAxis, FlashCrowdLevel};
     pub use crate::experiment::sweep::{
         default_intra_threads, default_threads, run_link_groups, ExperimentSuite, SuiteReport,
         SweepGrid, SweepPoint,

@@ -15,15 +15,23 @@
 //!   Stockholm 2018), for Figure 7(d);
 //! * [`planetlab`] — 45 wide-area path characterisations (RTT, loss rate up
 //!   to 0.9 %, bursty losses, 1–3 s outages on ~45 % of paths) that drive the
-//!   Figure 8 experiments.
+//!   Figure 8 experiments;
+//! * [`loadcurves`] — population-scale demand curves (diurnal load, flash
+//!   crowds, correlated cross-DC loss episodes, mobile handoffs) that drive
+//!   the city-scale sweeps.
 //!
 //! All generators are deterministic functions of a seed.
 
 pub mod dc_history;
+pub mod loadcurves;
 pub mod planetlab;
 pub mod regions;
 pub mod ripe;
 
-pub use planetlab::{planetlab_paths, PlanetLabPath};
+pub use loadcurves::{
+    cross_dc_loss_episodes, flash_crowds, flash_multiplier, inter_dc_loss_at, CrossDcLossEpisode,
+    DiurnalCurve, FlashCrowdEpisode, HandoffModel,
+};
+pub use planetlab::{planetlab_paths, planetlab_paths_for_pair, PlanetLabPath};
 pub use regions::{Region, RegionPair};
 pub use ripe::{ripe_atlas_paths, PathSample};

@@ -1,0 +1,307 @@
+//! Demand curves for population-scale workloads.
+//!
+//! The city-scale experiments drive flow arrivals from measurement-shaped
+//! demand: a diurnal load curve anchored to each region's local time, flash
+//! crowds that multiply demand for an hour or two, correlated cross-DC loss
+//! episodes, and the periodic outages that mobile handoffs impose on a flow.
+//! Everything here is a deterministic function of a seed so sweep points can
+//! be replayed byte-identically.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use netsim::loss::LossSpec;
+use netsim::rng::component_rng;
+use netsim::time::{Dur, Time};
+
+use crate::regions::{Region, RegionPair};
+
+/// A diurnal load curve: demand as a fraction of the daily peak, as a
+/// function of *local* time of day.
+///
+/// The curve is a raised cosine with its crest at [`peak_local_hour`]
+/// (consumer traffic peaks in the evening), bounded away from zero so a city
+/// never goes fully idle.
+///
+/// [`peak_local_hour`]: DiurnalCurve::peak_local_hour
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiurnalCurve {
+    /// Mean demand level (fraction of peak).
+    pub base: f64,
+    /// Amplitude of the daily swing around the base.
+    pub amplitude: f64,
+    /// Local hour of peak demand.
+    pub peak_local_hour: f64,
+}
+
+impl DiurnalCurve {
+    /// The evening-peak curve used by the city experiments: demand swings
+    /// between 10 % and 100 % of peak, cresting at 20:00 local time.
+    pub fn evening_peak() -> Self {
+        DiurnalCurve {
+            base: 0.55,
+            amplitude: 0.45,
+            peak_local_hour: 20.0,
+        }
+    }
+
+    /// Demand multiplier (in `[base - amplitude, base + amplitude]`, always
+    /// non-negative) for `region` at UTC hour `utc_hour`, with an extra phase
+    /// shift of `phase_hours` applied to every local clock.
+    pub fn load_factor(&self, region: Region, utc_hour: f64, phase_hours: f64) -> f64 {
+        let local = utc_hour + region.utc_offset_hours() + phase_hours;
+        let angle = (local - self.peak_local_hour) / 24.0 * std::f64::consts::TAU;
+        (self.base + self.amplitude * angle.cos()).max(0.0)
+    }
+}
+
+/// One flash-crowd episode: demand in `region` is multiplied by
+/// `multiplier` between `start_hour` and `start_hour + duration_hours`
+/// (UTC hours since the start of the observation window).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlashCrowdEpisode {
+    /// Region hit by the crowd.
+    pub region: Region,
+    /// Start of the episode, UTC hours from the window start.
+    pub start_hour: f64,
+    /// Episode length in hours.
+    pub duration_hours: f64,
+    /// Demand multiplier while the episode is active (> 1).
+    pub multiplier: f64,
+}
+
+impl FlashCrowdEpisode {
+    /// Whether the episode is active for `region` at `utc_hour`.
+    pub fn active(&self, region: Region, utc_hour: f64) -> bool {
+        self.region == region
+            && utc_hour >= self.start_hour
+            && utc_hour < self.start_hour + self.duration_hours
+    }
+}
+
+/// Samples flash-crowd episodes over a window of `horizon_hours`, hitting the
+/// given `regions`.  Each affected region sees roughly one episode per
+/// 12-hour stretch, lasting 0.5–2 h and multiplying demand by 1.5–4×.
+pub fn flash_crowds(seed: u64, horizon_hours: f64, regions: &[Region]) -> Vec<FlashCrowdEpisode> {
+    let mut rng = component_rng(seed, 0xF1A5);
+    let mut episodes = Vec::new();
+    for &region in regions {
+        let mut t = rng.gen::<f64>() * 12.0;
+        while t < horizon_hours {
+            episodes.push(FlashCrowdEpisode {
+                region,
+                start_hour: t,
+                duration_hours: 0.5 + rng.gen::<f64>() * 1.5,
+                multiplier: 1.5 + rng.gen::<f64>() * 2.5,
+            });
+            t += 6.0 + rng.gen::<f64>() * 12.0;
+        }
+    }
+    episodes
+}
+
+/// Combined flash-crowd multiplier for `region` at `utc_hour`: the product of
+/// every active episode's multiplier, or 1.0 when none is active.  Always
+/// ≥ 1.
+pub fn flash_multiplier(episodes: &[FlashCrowdEpisode], region: Region, utc_hour: f64) -> f64 {
+    episodes
+        .iter()
+        .filter(|e| e.active(region, utc_hour))
+        .map(|e| e.multiplier)
+        .product::<f64>()
+        .max(1.0)
+}
+
+/// A correlated loss episode on the inter-DC segment between two regions:
+/// for its duration, every overlay path between the pair sees elevated
+/// bursty loss on top of its baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrossDcLossEpisode {
+    /// The DC pair whose overlay segment degrades.
+    pub pair: RegionPair,
+    /// Start of the episode, UTC hours from the window start.
+    pub start_hour: f64,
+    /// Episode length in hours.
+    pub duration_hours: f64,
+    /// Extra loss rate on the inter-DC segment while active.
+    pub loss_rate: f64,
+}
+
+impl CrossDcLossEpisode {
+    /// Whether the episode covers `pair` (in either direction) at `utc_hour`.
+    pub fn active(&self, pair: RegionPair, utc_hour: f64) -> bool {
+        let same = self.pair == pair || (self.pair.from == pair.to && self.pair.to == pair.from);
+        same && utc_hour >= self.start_hour && utc_hour < self.start_hour + self.duration_hours
+    }
+}
+
+/// Samples correlated cross-DC loss episodes over a window of
+/// `horizon_hours`.  Episodes are rare (about one per pair per two days),
+/// short (6–30 min) and add 0.2–2 % bursty loss to the overlay segment —
+/// enough to perturb recovery without severing the overlay.
+pub fn cross_dc_loss_episodes(
+    seed: u64,
+    horizon_hours: f64,
+    pairs: &[RegionPair],
+) -> Vec<CrossDcLossEpisode> {
+    let mut rng = component_rng(seed, 0xD0C1);
+    let mut episodes = Vec::new();
+    for &pair in pairs {
+        let mut t = rng.gen::<f64>() * 48.0;
+        while t < horizon_hours {
+            episodes.push(CrossDcLossEpisode {
+                pair,
+                start_hour: t,
+                duration_hours: 0.1 + rng.gen::<f64>() * 0.4,
+                loss_rate: 0.002 + rng.gen::<f64>() * 0.018,
+            });
+            t += 24.0 + rng.gen::<f64>() * 48.0;
+        }
+    }
+    episodes
+}
+
+/// The extra inter-DC loss model for `pair` at `utc_hour`: bursty loss at
+/// the strongest active episode's rate, or [`LossSpec::None`] when the
+/// segment is healthy.
+pub fn inter_dc_loss_at(
+    episodes: &[CrossDcLossEpisode],
+    pair: RegionPair,
+    utc_hour: f64,
+) -> LossSpec {
+    let rate = episodes
+        .iter()
+        .filter(|e| e.active(pair, utc_hour))
+        .map(|e| e.loss_rate)
+        .fold(0.0_f64, f64::max);
+    if rate > 0.0 {
+        LossSpec::bursty(rate, 4.0)
+    } else {
+        LossSpec::None
+    }
+}
+
+/// A mobile handoff model: the access link blacks out for `outage` every
+/// `interval` as the device moves between cells.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HandoffModel {
+    /// Mean time between handoffs.
+    pub interval: Dur,
+    /// Access-link outage per handoff.
+    pub outage: Dur,
+}
+
+impl HandoffModel {
+    /// A typical urban LTE profile: a handoff roughly every 40 s with a
+    /// ~150 ms interruption.
+    pub fn lte_typical() -> Self {
+        HandoffModel {
+            interval: Dur::from_secs(40),
+            outage: Dur::from_millis(150),
+        }
+    }
+
+    /// The loss model the handoffs impose on a flow's direct path.  `rng`
+    /// only picks the phase of the first handoff, so flows in the same class
+    /// do not black out in lockstep.
+    pub fn loss_spec(&self, rng: &mut SmallRng) -> LossSpec {
+        let phase = rng.gen::<f64>();
+        LossSpec::PeriodicOutage {
+            first: Time::from_millis_f64(self.interval.as_millis_f64() * (0.25 + phase * 0.75)),
+            period: self.interval,
+            duration: self.outage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_curve_is_nonnegative_and_peaks_in_the_evening() {
+        let curve = DiurnalCurve::evening_peak();
+        for &region in &Region::ALL {
+            for h in 0..48 {
+                for phase in [0.0, 4.0, 8.0, -3.5] {
+                    let f = curve.load_factor(region, h as f64, phase);
+                    assert!(f.is_finite() && f >= 0.0, "{region:?} h{h} ph{phase}: {f}");
+                }
+            }
+        }
+        // Peak at 20:00 local = 01:00 UTC for US-E (UTC-5): the load at that
+        // hour beats the trough 12 hours away.
+        let peak = curve.load_factor(Region::UsEast, 1.0, 0.0);
+        let trough = curve.load_factor(Region::UsEast, 13.0, 0.0);
+        assert!(peak > trough);
+        assert!((peak - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_shift_moves_the_peak() {
+        let curve = DiurnalCurve::evening_peak();
+        let shifted = curve.load_factor(Region::Europe, 7.0, 12.0);
+        let unshifted = curve.load_factor(Region::Europe, 19.0, 0.0);
+        assert!((shifted - unshifted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flash_crowds_are_deterministic_and_bounded() {
+        let eps = flash_crowds(9, 24.0, &Region::ALL);
+        assert_eq!(eps, flash_crowds(9, 24.0, &Region::ALL));
+        assert!(!eps.is_empty());
+        for e in &eps {
+            assert!(e.duration_hours > 0.0 && e.duration_hours <= 2.0);
+            assert!(e.multiplier > 1.0 && e.multiplier <= 4.0);
+            assert!(e.start_hour >= 0.0 && e.start_hour < 24.0);
+        }
+        // The multiplier is 1 outside every episode and > 1 inside one.
+        let e = &eps[0];
+        let inside = flash_multiplier(&eps, e.region, e.start_hour + e.duration_hours * 0.5);
+        assert!(inside > 1.0);
+        assert_eq!(flash_multiplier(&eps, e.region, -1.0), 1.0);
+        // No episodes at all when no region is affected.
+        assert!(flash_crowds(9, 24.0, &[]).is_empty());
+    }
+
+    #[test]
+    fn cross_dc_episodes_cover_both_directions() {
+        let pair = RegionPair::new(Region::UsEast, Region::Europe);
+        let eps = cross_dc_loss_episodes(3, 400.0, &[pair]);
+        assert_eq!(eps, cross_dc_loss_episodes(3, 400.0, &[pair]));
+        assert!(!eps.is_empty());
+        let e = &eps[0];
+        let mid = e.start_hour + e.duration_hours * 0.5;
+        let reverse = RegionPair::new(Region::Europe, Region::UsEast);
+        assert!(e.active(pair, mid));
+        assert!(e.active(reverse, mid));
+        assert!(matches!(
+            inter_dc_loss_at(&eps, pair, mid),
+            LossSpec::GilbertElliott { .. }
+        ));
+        assert!(matches!(inter_dc_loss_at(&eps, pair, -1.0), LossSpec::None));
+    }
+
+    #[test]
+    fn handoff_model_yields_periodic_outages_with_varying_phase() {
+        let model = HandoffModel::lte_typical();
+        let mut rng = component_rng(1, 0xAB);
+        let a = model.loss_spec(&mut rng);
+        let b = model.loss_spec(&mut rng);
+        match (&a, &b) {
+            (
+                LossSpec::PeriodicOutage {
+                    first: fa,
+                    period,
+                    duration,
+                },
+                LossSpec::PeriodicOutage { first: fb, .. },
+            ) => {
+                assert_eq!(*period, model.interval);
+                assert_eq!(*duration, model.outage);
+                assert_ne!(fa, fb);
+            }
+            other => panic!("expected periodic outages, got {other:?}"),
+        }
+    }
+}

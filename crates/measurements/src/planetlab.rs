@@ -131,48 +131,61 @@ pub fn planetlab_paths_n(n: usize, seed: u64) -> Vec<PlanetLabPath> {
     (0..n)
         .map(|index| {
             let regions = sample_region_pair(&mut rng);
-            let base_y = regions.base_one_way_ms();
-            let y_ms = base_y * (0.9 + rng.gen::<f64>() * 0.3);
-            let x_ms =
-                inter_dc_one_way_ms(regions.from, regions.to) * (0.9 + rng.gen::<f64>() * 0.2);
-            // Receiver-DC RTT varies 16–70 ms (mean 28) => one-way 8–35 ms.
-            let delta_r_ms = 8.0 + rng.gen::<f64>().powi(2) * 27.0;
-            let delta_s_ms = 5.0 + rng.gen::<f64>() * 15.0;
-
-            // Loss rate: 60% of paths below 0.1%, the rest up to 0.9%.
-            let loss_rate = if rng.gen::<f64>() < 0.6 {
-                rng.gen::<f64>() * 0.001
-            } else {
-                0.001 + rng.gen::<f64>() * 0.008
-            };
-            let mean_burst = 1.0 + rng.gen::<f64>() * 5.0;
-            let has_outages = rng.gen::<f64>() < 0.45;
-            let outage_secs = 1.0 + rng.gen::<f64>() * 2.0;
-            // Outages are rare events spread over the measurement window.
-            let outage_interval_secs = 400.0 + rng.gen::<f64>() * 400.0;
-            // A minority of paths see access loss near the source.
-            let sender_access_loss = if rng.gen::<f64>() < 0.3 {
-                rng.gen::<f64>() * 0.002
-            } else {
-                0.0
-            };
-
-            PlanetLabPath {
-                index,
-                regions,
-                y_ms,
-                delta_s_ms,
-                x_ms,
-                delta_r_ms,
-                loss_rate,
-                mean_burst,
-                has_outages,
-                outage_secs,
-                outage_interval_secs,
-                sender_access_loss,
-            }
+            synth_path(index, regions, &mut rng)
         })
         .collect()
+}
+
+/// Generates `n` paths all between the given region pair, with the same
+/// per-path statistics as [`planetlab_paths_n`].  The population engine uses
+/// this to give every flow class its own path sample.
+pub fn planetlab_paths_for_pair(pair: RegionPair, n: usize, seed: u64) -> Vec<PlanetLabPath> {
+    let mut rng = component_rng(seed, 0x91A8);
+    (0..n)
+        .map(|index| synth_path(index, pair, &mut rng))
+        .collect()
+}
+
+fn synth_path(index: usize, regions: RegionPair, rng: &mut SmallRng) -> PlanetLabPath {
+    let base_y = regions.base_one_way_ms();
+    let y_ms = base_y * (0.9 + rng.gen::<f64>() * 0.3);
+    let x_ms = inter_dc_one_way_ms(regions.from, regions.to) * (0.9 + rng.gen::<f64>() * 0.2);
+    // Receiver-DC RTT varies 16–70 ms (mean 28) => one-way 8–35 ms.
+    let delta_r_ms = 8.0 + rng.gen::<f64>().powi(2) * 27.0;
+    let delta_s_ms = 5.0 + rng.gen::<f64>() * 15.0;
+
+    // Loss rate: 60% of paths below 0.1%, the rest up to 0.9%.
+    let loss_rate = if rng.gen::<f64>() < 0.6 {
+        rng.gen::<f64>() * 0.001
+    } else {
+        0.001 + rng.gen::<f64>() * 0.008
+    };
+    let mean_burst = 1.0 + rng.gen::<f64>() * 5.0;
+    let has_outages = rng.gen::<f64>() < 0.45;
+    let outage_secs = 1.0 + rng.gen::<f64>() * 2.0;
+    // Outages are rare events spread over the measurement window.
+    let outage_interval_secs = 400.0 + rng.gen::<f64>() * 400.0;
+    // A minority of paths see access loss near the source.
+    let sender_access_loss = if rng.gen::<f64>() < 0.3 {
+        rng.gen::<f64>() * 0.002
+    } else {
+        0.0
+    };
+
+    PlanetLabPath {
+        index,
+        regions,
+        y_ms,
+        delta_s_ms,
+        x_ms,
+        delta_r_ms,
+        loss_rate,
+        mean_burst,
+        has_outages,
+        outage_secs,
+        outage_interval_secs,
+        sender_access_loss,
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +206,18 @@ mod tests {
     fn generator_is_deterministic() {
         assert_eq!(planetlab_paths(5), planetlab_paths(5));
         assert_ne!(planetlab_paths(5), planetlab_paths(6));
+    }
+
+    #[test]
+    fn pair_generator_pins_the_region_pair() {
+        let pair = RegionPair::new(Region::UsWest, Region::Oceania);
+        let ps = planetlab_paths_for_pair(pair, 20, 7);
+        assert_eq!(ps.len(), 20);
+        assert!(ps.iter().all(|p| p.regions == pair));
+        // Per-path statistics still vary, and the generator is deterministic.
+        assert!(ps.windows(2).any(|w| w[0].y_ms != w[1].y_ms));
+        assert_eq!(ps, planetlab_paths_for_pair(pair, 20, 7));
+        assert_ne!(ps, planetlab_paths_for_pair(pair, 20, 8));
     }
 
     #[test]

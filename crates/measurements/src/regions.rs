@@ -41,6 +41,19 @@ impl Region {
             Region::Oceania => "OC",
         }
     }
+
+    /// Representative UTC offset of the region, in hours.  Diurnal load
+    /// curves are anchored to local time, so two regions eight time zones
+    /// apart peak eight hours apart on the shared UTC clock.
+    pub fn utc_offset_hours(&self) -> f64 {
+        match self {
+            Region::UsEast => -5.0,
+            Region::UsWest => -8.0,
+            Region::Europe => 1.0,
+            Region::Asia => 8.0,
+            Region::Oceania => 10.0,
+        }
+    }
 }
 
 /// An ordered pair of regions (sender region, receiver region).

@@ -74,6 +74,26 @@ impl Cdf {
         Some(self.samples[idx])
     }
 
+    /// The `q`-th quantile with linear interpolation between the two
+    /// adjacent order statistics (type-7 / NumPy default).  Prefer this for
+    /// small samples: nearest-rank [`Cdf::quantile`] rounds the fractional
+    /// rank, so with `n ≤ 50` samples p99 collapses to the maximum (and p95
+    /// already at `n ≤ 10`) — exactly the per-class sample sizes the
+    /// population aggregation layer produces.  The nearest-rank path is kept
+    /// for the figure summaries whose golden outputs depend on it.
+    pub fn quantile_interpolated(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let pos = (self.samples.len() - 1) as f64 * q;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.samples[lo] + (self.samples[hi] - self.samples[lo]) * frac)
+    }
+
     /// Median (50th percentile).
     pub fn median(&mut self) -> Option<f64> {
         self.quantile(0.5)
@@ -397,6 +417,29 @@ mod tests {
         assert_eq!(c.min(), Some(1.0));
         assert_eq!(c.max(), Some(100.0));
         assert_eq!(c.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn interpolated_quantile_does_not_collapse_to_the_max_on_small_samples() {
+        // Regression: nearest-rank rounds the fractional rank, so on 10
+        // samples p95 lands on index round(9·0.95) = 9 — the maximum.  The
+        // interpolated quantile keeps resolution inside the tail.
+        let mut c = Cdf::from_samples((1..=10).map(|x| x as f64).collect());
+        assert_eq!(c.quantile(0.95), Some(10.0), "nearest-rank p95 == max");
+        let p95 = c.quantile_interpolated(0.95).unwrap();
+        assert!((p95 - 9.55).abs() < 1e-12, "interpolated p95 {p95}");
+        assert!(p95 < c.max().unwrap());
+        // Same collapse for p99 at n = 50.
+        let mut c = Cdf::from_samples((1..=50).map(|x| x as f64).collect());
+        assert_eq!(c.quantile(0.99), Some(50.0), "nearest-rank p99 == max");
+        let p99 = c.quantile_interpolated(0.99).unwrap();
+        assert!((p99 - 49.51).abs() < 1e-12, "interpolated p99 {p99}");
+        // Endpoints and large samples agree with nearest-rank.
+        let mut c = Cdf::from_samples((1..=100).map(|x| x as f64).collect());
+        assert_eq!(c.quantile_interpolated(0.0), Some(1.0));
+        assert_eq!(c.quantile_interpolated(1.0), Some(100.0));
+        assert!((c.quantile_interpolated(0.5).unwrap() - 50.5).abs() < 1e-12);
+        assert!(Cdf::new().quantile_interpolated(0.5).is_none());
     }
 
     #[test]

@@ -84,6 +84,18 @@ impl OnOffCbrSource {
     pub fn packets_per_interval(&self) -> u64 {
         self.packets_per_on
     }
+
+    /// The slice of the ON interval after its last packet: packets sit at
+    /// offsets `0, i, …, (N-1)·i` inside the interval, so the interval's
+    /// trailing `T - (N-1)·i` belongs to ON time, not to the OFF gap.  Equal
+    /// to `packet_interval` whenever the interval divides `on_duration`
+    /// evenly, and to the remainder otherwise (e.g. under `scaled()` with a
+    /// non-dividing scale).
+    fn on_tail(&self) -> Dur {
+        self.config
+            .on_duration
+            .saturating_sub(self.config.packet_interval * (self.packets_per_on - 1))
+    }
 }
 
 impl TrafficSource for OnOffCbrSource {
@@ -94,22 +106,30 @@ impl TrafficSource for OnOffCbrSource {
             }
         }
         if self.sent_in_interval < self.packets_per_on {
+            // The first packet of the stream opens the first ON interval
+            // immediately; packets within an interval are one interval apart.
+            let gap = if self.sent_in_interval == 0 {
+                Dur::from_micros(0)
+            } else {
+                self.config.packet_interval
+            };
             self.sent_in_interval += 1;
-            Some((self.config.packet_interval, self.config.payload))
+            Some((gap, self.config.payload))
         } else {
             // End of the ON interval: jump over an exponential OFF period.
+            // The OFF gap runs from the *end* of the ON interval, so the gap
+            // since the interval's last packet is the interval's unused tail
+            // plus the sampled OFF time — not an extra full packet interval.
             self.intervals_done += 1;
             if let Some(max) = self.config.max_on_intervals {
                 if self.intervals_done >= max {
                     return None;
                 }
             }
+            let tail = self.on_tail();
             self.sent_in_interval = 1;
             let off_ms = sample_exponential(rng, self.config.mean_off.as_millis_f64());
-            Some((
-                Dur::from_millis_f64(off_ms) + self.config.packet_interval,
-                self.config.payload,
-            ))
+            Some((Dur::from_millis_f64(off_ms) + tail, self.config.payload))
         }
     }
 }
@@ -158,6 +178,73 @@ mod tests {
         // Scaled mean OFF time is 55 s; the sampled gap should be in a broadly
         // plausible range around that.
         assert!(long_gaps.iter().all(|g| **g < Dur::from_secs(600)));
+    }
+
+    #[test]
+    fn first_packet_opens_the_on_interval_immediately() {
+        // Regression: the first packet used to be delayed by one full
+        // packet interval, shifting every ON interval late by 20 ms.
+        let mut rng = component_rng(4, 0);
+        let mut s = OnOffCbrSource::new(OnOffConfig::planetlab());
+        let (gap, _) = s.next_packet(&mut rng).unwrap();
+        assert_eq!(gap, Dur::from_micros(0), "first packet must not be delayed");
+        let (gap, _) = s.next_packet(&mut rng).unwrap();
+        assert_eq!(gap, Dur::from_millis(20));
+    }
+
+    #[test]
+    fn realized_on_off_cycle_matches_the_spec_exactly() {
+        // Regression: the OFF gap used to be measured from the last packet
+        // plus a spurious extra `packet_interval`, so the realized cycle was
+        // `N·i + off` instead of `T + off` — which silently drops the ON
+        // interval's tail whenever `scale` does not divide `on_duration`
+        // evenly (scale = 7: T = 42.857142 s but N·i = 42.84 s).
+        let scale = 7;
+        let intervals = 3u32;
+        let mut rng = component_rng(11, 0);
+        // An identical replay of the RNG stream predicts the OFF samples:
+        // the source draws from it only at interval transitions.
+        let mut replay = component_rng(11, 0);
+        let mut s = OnOffCbrSource::scaled(scale, intervals);
+        let per_interval = s.packets_per_interval();
+        let base = OnOffConfig::planetlab();
+        let t_on = base.on_duration / scale;
+        let interval = base.packet_interval;
+        assert_ne!(
+            interval * (per_interval - 1) + interval,
+            t_on,
+            "scale must not divide on_duration for this regression test"
+        );
+
+        let mut total = Dur::from_micros(0);
+        let mut off_total = Dur::from_micros(0);
+        let mut count = 0u64;
+        while let Some((gap, _)) = s.next_packet(&mut rng) {
+            total += gap;
+            count += 1;
+            if count % per_interval == 1 && count > 1 {
+                // First packet of a later interval: its gap is tail + off.
+                let off_ms =
+                    sample_exponential(&mut replay, (base.mean_off / scale).as_millis_f64());
+                off_total += Dur::from_millis_f64(off_ms);
+            }
+        }
+        assert_eq!(count, per_interval * u64::from(intervals));
+        // Span from the first to the last packet: the first interval starts
+        // at 0, each later interval starts a full `T + off_k` after the
+        // previous one, and the last packet sits `(N-1)·i` into its interval.
+        let expected = t_on * u64::from(intervals - 1) + off_total + interval * (per_interval - 1);
+        assert_eq!(
+            total, expected,
+            "realized cycle must be T + off per interval, with no lost tail"
+        );
+        // Equivalently: subtracting the sampled OFF time from the realized
+        // span leaves exactly the spec'd ON time — the realized ON/OFF ratio
+        // is pinned to the sampled OFF draws, with no drift per interval.
+        assert_eq!(
+            total.saturating_sub(off_total),
+            t_on * u64::from(intervals - 1) + interval * (per_interval - 1),
+        );
     }
 
     #[test]

@@ -13,13 +13,24 @@
 //!   response, segmented at a typical MSS);
 //! * [`mobile`] — the cellular-access model of §6.5 (2–5 Mbps uplink,
 //!   50–100 ms RTT to the nearest cloud region, energy accounting).
+//!
+//! The [`population`] module composes all four into city-scale flow
+//! populations: users are partitioned into flow classes (model × region
+//! pair), arrivals are sampled from measurement-derived demand curves, and a
+//! handful of representative flows per class run packet-level while class
+//! statistics scale analytically.
 
 pub mod cbr;
 pub mod mobile;
+pub mod population;
 pub mod video;
 pub mod web;
 
 pub use cbr::OnOffCbrSource;
 pub use mobile::MobileProfile;
+pub use population::{
+    class_catalog, partition_population, run_city, CityConfig, CityReport, ClassReport, FlowClass,
+    WorkloadModel,
+};
 pub use video::VideoSource;
 pub use web::WebTransferSpec;

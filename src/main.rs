@@ -31,7 +31,9 @@ fn print_help() {
     println!();
     println!("Figure regeneration (cargo run --release -p jqos-bench --bin <name>):");
     println!("  fig7_feasibility, fig8_crwan, fig9a_skype, fig9b_tcp, fig10_scaling,");
-    println!("  sec65_mobile, sec66_cost, fleet_sweep   (set JQOS_QUICK=1 for a fast pass)");
+    println!(
+        "  sec65_mobile, sec66_cost, fleet_sweep, city_sweep   (set JQOS_QUICK=1 for a fast pass)"
+    );
     println!();
     println!("Parallel sweeps (same suites, via this CLI):");
     println!(
